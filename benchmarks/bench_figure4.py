@@ -1,0 +1,17 @@
+"""Figure 4 — runtime of the in-database ``FindShapes`` vs database size.
+
+Expected qualitative shape (Section 8.2): same trend as Figure 3 (time grows
+with database size); the paper observes the in-database implementation to be
+the faster of the two on its PostgreSQL backend.
+"""
+
+from repro.experiments.figures import figure4
+
+from conftest import report, run_once
+
+
+def test_figure4_find_shapes_in_database(benchmark, config):
+    rows = run_once(benchmark, figure4, config)
+    assert rows
+    assert all(row["queries_issued"] >= 0 for row in rows)
+    report(rows, title="figure4")

@@ -1,0 +1,17 @@
+"""Figure 5 — db-independent runtime of ``IsChaseFinite[L]``, predicate profile [400,600].
+
+Expected qualitative shape (Section 8.2): ``t-parse`` and ``t-graph`` grow
+with ``n-rules`` while ``t-comp`` stays small; unlike the simple-linear case,
+graph building (which includes dynamic simplification) outweighs parsing.
+"""
+
+from repro.experiments.figures import figure5
+
+from conftest import report, run_once
+
+
+def test_figure5_db_independent_runtime_largest_profile(benchmark, config):
+    rows = run_once(benchmark, figure5, config)
+    assert rows
+    assert all(row["t_total"] >= row["t_comp"] for row in rows)
+    report(rows, title="figure5")

@@ -1,0 +1,17 @@
+"""Figures 6 and 7 (appendix) — db-independent runtime for the two smaller predicate profiles."""
+
+from repro.experiments.figures import figure6, figure7
+
+from conftest import report, run_once
+
+
+def test_figure6_db_independent_runtime_smallest_profile(benchmark, config):
+    rows = run_once(benchmark, figure6, config)
+    assert rows
+    report(rows, title="figure6")
+
+
+def test_figure7_db_independent_runtime_middle_profile(benchmark, config):
+    rows = run_once(benchmark, figure7, config)
+    assert rows
+    report(rows, title="figure7")

@@ -1,0 +1,22 @@
+"""Section 8 inline figure — the db-independent component vs database size.
+
+Expected qualitative shape: the average ``t-graph + t-comp`` per database
+size is (nearly) flat, because the number of shapes grows very slowly with
+the database size.
+"""
+
+from repro.experiments.figures import figure_db_independent_vs_size
+from repro.experiments.reporting import group_mean
+
+from conftest import report, run_once
+
+
+def test_db_independent_component_does_not_depend_on_database_size(benchmark, config):
+    rows = run_once(benchmark, figure_db_independent_vs_size, config)
+    assert rows
+    aggregated = group_mean(rows, ["n_tuples_per_relation"], ["t_graph", "t_comp"])
+    means = [entry["mean_t_graph"] + entry["mean_t_comp"] for entry in aggregated]
+    # Flat trend: the largest database must not cost an order of magnitude
+    # more db-independent time than the smallest one.
+    assert max(means) <= 20 * max(min(means), 1e-6)
+    report(rows, title="figure_db_independent_vs_size")

@@ -1,0 +1,17 @@
+"""Appendix edge-count plot — dependency-graph edges vs ``n-rules`` per predicate profile.
+
+Expected qualitative shape: for smaller predicate profiles the number of
+edges saturates as rules accumulate (many rules contribute the same edges),
+while larger profiles keep adding edges.
+"""
+
+from repro.experiments.figures import figure_edges
+
+from conftest import report, run_once
+
+
+def test_figure_edges_dependency_graph_size(benchmark, config):
+    rows = run_once(benchmark, figure_edges, config)
+    assert rows
+    assert all(row["n_edges"] >= row["n_special_edges"] for row in rows)
+    report(rows, title="figure_edges", raw=True)

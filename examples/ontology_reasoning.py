@@ -1,0 +1,51 @@
+"""Ontology-mediated query answering over a DL-Lite / LUBM-style ontology.
+
+Linear TGDs capture DL-Lite_R, the logic behind OWL 2 QL (Section 1.3 of the
+paper).  This example builds the LUBM-style ontology and data shipped with
+the library, checks that the semi-oblivious chase terminates (it does — the
+ontology is weakly acyclic w.r.t. the data), materialises the chase, and
+answers a few atomic queries over the materialisation.
+
+Run with::
+
+    python examples/ontology_reasoning.py
+"""
+
+from repro import InMemoryShapeFinder, chase, is_chase_finite_l
+from repro.core.predicates import Predicate
+from repro.scenarios import build_lubm
+
+
+def count(instance, predicate_name, arity):
+    return len(instance.atoms_with_predicate(Predicate(predicate_name, arity)))
+
+
+def main() -> None:
+    scenario = build_lubm("LUBM-1")
+    rules = scenario.tgds
+    store = scenario.store
+
+    print(f"ontology rules : {len(rules)} (simple-linear: {rules.is_simple_linear()})")
+    print(f"data           : {store.total_rows()} facts over {len(store.non_empty_predicates())} relations")
+
+    report = is_chase_finite_l(InMemoryShapeFinder(store), rules)
+    print(f"IsChaseFinite[L]: finite={report.finite}")
+    print(f"  shapes found        : {report.statistics['n_initial_shapes']}")
+    print(f"  simplified TGDs kept: {report.statistics['n_simplified_rules']}")
+    print(f"  db-dependent time   : {report.timings.db_dependent * 1000:.2f} ms")
+    print(f"  db-independent time : {report.timings.db_independent * 1000:.2f} ms")
+
+    print("\nmaterialising the chase ...")
+    result = chase(store.to_database(), rules)
+    assert result.terminated
+    print(f"materialisation: {len(result.instance)} atoms after {result.rounds} rounds")
+
+    print("\nquery answers over the materialisation (vs the raw data):")
+    for name in ("Person", "Student", "Employee", "Organization", "Course"):
+        before = count(store.to_database(), name, 1)
+        after = count(result.instance, name, 1)
+        print(f"  {name:<14} raw={before:<5} entailed={after}")
+
+
+if __name__ == "__main__":
+    main()

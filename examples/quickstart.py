@@ -1,0 +1,67 @@
+"""Quickstart: parse rules and a database, check chase termination, run the chase.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    ChaseLimits,
+    chase,
+    is_chase_finite_l,
+    is_chase_finite_sl,
+    parse_database,
+    parse_rules,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. A terminating set of simple-linear TGDs (inclusion dependencies).
+    rules = parse_rules(
+        """
+        % Every employee works in a department; departments have managers,
+        % and managers are employees of that same department.
+        Employee(e,d)   -> Department(d,m)
+        Department(d,m) -> Employee(m,d)
+        """
+    )
+    database = parse_database("Employee(alice, cs).")
+
+    report = is_chase_finite_sl(database, rules)
+    print("=== terminating scenario ===")
+    print(f"algorithm : {report.algorithm}")
+    print(f"finite?   : {report.finite}")
+    print(f"statistics: {report.statistics}")
+
+    result = chase(database, rules)
+    print(f"chase size: {len(result.instance)} atoms (terminated={result.terminated})")
+    for atom in result.instance:
+        print(f"  {atom!r}")
+
+    # ------------------------------------------------------------------ #
+    # 2. A non-terminating variant: the manager now gets a *fresh* department.
+    bad_rules = parse_rules(
+        """
+        Employee(e,d)   -> Department(d,m)
+        Department(d,m) -> Employee(m,d2)
+        """
+    )
+    report = is_chase_finite_sl(database, bad_rules)
+    print("\n=== non-terminating scenario ===")
+    print(f"finite?   : {report.finite}")
+    bounded = chase(database, bad_rules, limits=ChaseLimits(max_atoms=20))
+    print(f"chase stopped by budget after {len(bounded.instance)} atoms "
+          f"(reason: {bounded.stop_reason})")
+
+    # ------------------------------------------------------------------ #
+    # 3. Linear (non-simple) rules need the database-aware checker.
+    linear_rules = parse_rules("SameAs(x,x) -> SameAs(x,z), SameAs(z,z)")
+    print("\n=== linear rules: the database decides ===")
+    for facts in ("SameAs(a,b).", "SameAs(a,a)."):
+        verdict = is_chase_finite_l(parse_database(facts), linear_rules)
+        print(f"database {facts:<15} -> finite? {verdict.finite}")
+
+
+if __name__ == "__main__":
+    main()

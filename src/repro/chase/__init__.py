@@ -1,0 +1,30 @@
+"""Chase engines (oblivious, semi-oblivious, restricted), triggers, and size bounds."""
+
+from .bounds import bell_number, chase_size_bound, static_simplification_size_bound
+from .engine import (
+    ChaseEngine,
+    ObliviousChase,
+    RestrictedChase,
+    SemiObliviousChase,
+    chase,
+    satisfies,
+)
+from .result import ChaseLimits, ChaseResult
+from .triggers import Trigger, trigger_count, triggers_on
+
+__all__ = [
+    "ChaseEngine",
+    "ChaseLimits",
+    "ChaseResult",
+    "ObliviousChase",
+    "RestrictedChase",
+    "SemiObliviousChase",
+    "Trigger",
+    "bell_number",
+    "chase",
+    "chase_size_bound",
+    "satisfies",
+    "static_simplification_size_bound",
+    "trigger_count",
+    "triggers_on",
+]

@@ -1,0 +1,225 @@
+"""The three chase engines: oblivious, semi-oblivious, and restricted.
+
+All three share the same breadth-first skeleton (``chase_i`` in the paper's
+notation): at round ``i`` the engine collects the triggers created by the
+atoms added in round ``i-1``, decides which of them to *fire* according to
+the variant's policy, and adds the results to the instance.  The variants
+differ only in the firing policy:
+
+* **oblivious** — fire every trigger ``(σ, h)`` at most once per full body
+  homomorphism ``h``;
+* **semi-oblivious** — fire at most once per frontier restriction
+  ``h|fr(σ)`` (Definition 3.1 and Section 1.1);
+* **restricted** — fire only when the head is not already satisfied by some
+  extension of ``h|fr(σ)``.
+
+The engines run under a :class:`~repro.chase.result.ChaseLimits` budget and
+report whether a fixpoint was reached.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from ..core.atoms import Atom
+from ..core.instances import Database, Instance
+from ..core.substitutions import has_homomorphism
+from ..core.terms import NullFactory
+from ..core.tgds import TGD, TGDSet
+from ..exceptions import ChaseLimitExceeded
+from .result import ChaseLimits, ChaseResult
+from .triggers import Trigger, triggers_on
+
+
+class ChaseEngine:
+    """Base class implementing the breadth-first chase skeleton."""
+
+    variant = "abstract"
+    #: Null-naming policy forwarded to Trigger.result (see triggers module).
+    null_scope = "frontier"
+
+    def __init__(self, limits: Optional[ChaseLimits] = None, on_limit: str = "return"):
+        if on_limit not in ("return", "raise"):
+            raise ValueError("on_limit must be 'return' or 'raise'")
+        self.limits = limits if limits is not None else ChaseLimits()
+        self.on_limit = on_limit
+
+    # ------------------------------------------------------------------ #
+    # Variant-specific policy
+
+    def _should_fire(self, trigger: Trigger, instance: Instance, fired_keys: Set) -> bool:
+        """Return ``True`` when *trigger* must be fired on *instance*."""
+        raise NotImplementedError
+
+    def _firing_key(self, trigger: Trigger):
+        """Return the key recording that *trigger* has been considered."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Driver
+
+    def run(self, database: Database, tgds: TGDSet) -> ChaseResult:
+        """Run the chase of *database* with *tgds* under the configured budget."""
+        tgd_list = tuple(tgds)
+        instance = Instance(database.atoms())
+        null_factory = NullFactory()
+        fired_keys: Set = set()
+
+        frontier_atoms: Optional[Set[Atom]] = None  # None = first round, use all atoms
+        rounds = 0
+        atoms_created = 0
+        triggers_fired = 0
+
+        while True:
+            if self.limits.round_budget_exceeded(rounds + 1):
+                return self._stopped(
+                    instance, rounds, atoms_created, triggers_fired, "max_rounds"
+                )
+            new_atoms: Set[Atom] = set()
+            for trigger in triggers_on(tgd_list, instance, restrict_to_atoms=frontier_atoms):
+                key = self._firing_key(trigger)
+                if key in fired_keys:
+                    continue
+                fired_keys.add(key)
+                if not self._should_fire(trigger, instance, fired_keys):
+                    continue
+                triggers_fired += 1
+                for atom in trigger.result(null_factory, null_scope=self.null_scope):
+                    if atom not in instance and atom not in new_atoms:
+                        new_atoms.add(atom)
+            if not new_atoms:
+                return ChaseResult(
+                    instance=instance,
+                    terminated=True,
+                    rounds=rounds,
+                    atoms_created=atoms_created,
+                    triggers_fired=triggers_fired,
+                    stop_reason="fixpoint",
+                )
+            instance.add_all(new_atoms)
+            atoms_created += len(new_atoms)
+            rounds += 1
+            frontier_atoms = new_atoms
+            if self.limits.atom_budget_exceeded(len(instance)):
+                return self._stopped(
+                    instance, rounds, atoms_created, triggers_fired, "max_atoms"
+                )
+
+    def _stopped(self, instance, rounds, atoms_created, triggers_fired, reason) -> ChaseResult:
+        if self.on_limit == "raise":
+            raise ChaseLimitExceeded(
+                f"{self.variant} chase exceeded its {reason} budget",
+                atoms_created=atoms_created,
+                rounds=rounds,
+            )
+        return ChaseResult(
+            instance=instance,
+            terminated=False,
+            rounds=rounds,
+            atoms_created=atoms_created,
+            triggers_fired=triggers_fired,
+            stop_reason=reason,
+        )
+
+
+class ObliviousChase(ChaseEngine):
+    """The oblivious chase: fire once per TGD and full body homomorphism."""
+
+    variant = "oblivious"
+    null_scope = "homomorphism"
+
+    def _firing_key(self, trigger: Trigger):
+        return trigger.oblivious_key()
+
+    def _should_fire(self, trigger: Trigger, instance: Instance, fired_keys: Set) -> bool:
+        return True
+
+
+class SemiObliviousChase(ChaseEngine):
+    """The semi-oblivious chase: fire once per TGD and frontier assignment."""
+
+    variant = "semi-oblivious"
+
+    def _firing_key(self, trigger: Trigger):
+        return trigger.semi_oblivious_key()
+
+    def _should_fire(self, trigger: Trigger, instance: Instance, fired_keys: Set) -> bool:
+        return True
+
+
+class RestrictedChase(ChaseEngine):
+    """The restricted (standard) chase: fire only when the head is not satisfied.
+
+    The head-satisfaction check looks for a homomorphism from the head atoms
+    into the current instance that agrees with ``h`` on the frontier; this is
+    the potentially expensive check the paper contrasts with the
+    semi-oblivious policy (Section 1.2).
+
+    Note: the restricted chase is order-sensitive in general.  This engine
+    fires all applicable triggers of a round against the instance as it was
+    at the *start* of the round plus the atoms added earlier in the same
+    round, which corresponds to one standard "fair" execution; it is intended
+    as a comparison baseline, not as a termination oracle.
+    """
+
+    variant = "restricted"
+
+    def _firing_key(self, trigger: Trigger):
+        # Restricted-chase triggers can become relevant again only with the
+        # same key, and once satisfied the head stays satisfied (the chase is
+        # monotone), so memoising on the semi-oblivious key is sound.
+        return trigger.semi_oblivious_key()
+
+    def _should_fire(self, trigger: Trigger, instance: Instance, fired_keys: Set) -> bool:
+        frontier = trigger.tgd.frontier()
+        base = {
+            variable: trigger.homomorphism[variable]
+            for variable in frontier
+        }
+        return not has_homomorphism(trigger.tgd.head, instance, base=base)
+
+
+def chase(
+    database: Database,
+    tgds: TGDSet,
+    variant: str = "semi-oblivious",
+    limits: Optional[ChaseLimits] = None,
+    on_limit: str = "return",
+) -> ChaseResult:
+    """Run the chase of *database* with *tgds*.
+
+    Parameters
+    ----------
+    variant:
+        ``"oblivious"``, ``"semi-oblivious"`` (default), or ``"restricted"``.
+    limits:
+        Budget for the run; defaults to :class:`ChaseLimits` defaults.
+    on_limit:
+        ``"return"`` to return a non-terminated result when the budget is
+        exhausted, ``"raise"`` to raise :class:`ChaseLimitExceeded`.
+    """
+    engines = {
+        "oblivious": ObliviousChase,
+        "semi-oblivious": SemiObliviousChase,
+        "semi_oblivious": SemiObliviousChase,
+        "restricted": RestrictedChase,
+    }
+    try:
+        engine_class = engines[variant]
+    except KeyError:
+        raise ValueError(
+            f"unknown chase variant {variant!r}; expected one of {sorted(set(engines))}"
+        ) from None
+    return engine_class(limits=limits, on_limit=on_limit).run(database, tgds)
+
+
+def satisfies(instance: Instance, tgds: Iterable[TGD]) -> bool:
+    """Return ``True`` when *instance* satisfies every TGD of *tgds* (``I |= Σ``)."""
+    from ..core.substitutions import homomorphisms
+
+    for tgd in tgds:
+        for body_hom in homomorphisms(tgd.body, instance):
+            base = {variable: body_hom[variable] for variable in tgd.frontier()}
+            if not has_homomorphism(tgd.head, instance, base=base):
+                return False
+    return True

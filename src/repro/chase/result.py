@@ -1,0 +1,66 @@
+"""Chase run results and limits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.instances import Instance
+
+
+@dataclass(frozen=True)
+class ChaseLimits:
+    """Budget for a chase run.
+
+    The semi-oblivious chase may legitimately be infinite, so every engine in
+    this package runs under a budget.  ``max_atoms`` bounds the size of the
+    produced instance (the counter used by the materialization-based
+    termination checker); ``max_rounds`` bounds the number of breadth-first
+    rounds (``chase_i`` in the paper's notation).
+    """
+
+    max_atoms: Optional[int] = 100_000
+    max_rounds: Optional[int] = None
+
+    def atom_budget_exceeded(self, atom_count: int) -> bool:
+        """Return ``True`` when *atom_count* exceeds the atom budget."""
+        return self.max_atoms is not None and atom_count > self.max_atoms
+
+    def round_budget_exceeded(self, round_count: int) -> bool:
+        """Return ``True`` when *round_count* exceeds the round budget."""
+        return self.max_rounds is not None and round_count > self.max_rounds
+
+
+@dataclass
+class ChaseResult:
+    """Outcome of a chase run.
+
+    Attributes
+    ----------
+    instance:
+        The instance built so far (complete when ``terminated`` is true).
+    terminated:
+        ``True`` when a fixpoint was reached within the budget.
+    rounds:
+        Number of breadth-first rounds executed.
+    atoms_created:
+        Number of atoms added on top of the input database.
+    triggers_fired:
+        Number of triggers whose result was added to the instance.
+    stop_reason:
+        ``"fixpoint"``, ``"max_atoms"``, or ``"max_rounds"``.
+    """
+
+    instance: Instance
+    terminated: bool
+    rounds: int = 0
+    atoms_created: int = 0
+    triggers_fired: int = 0
+    stop_reason: str = "fixpoint"
+
+    def __len__(self) -> int:
+        return len(self.instance)
+
+    def size(self) -> int:
+        """Return the number of atoms in the produced instance."""
+        return len(self.instance)

@@ -1,0 +1,121 @@
+"""Triggers and their results (Definition 3.1).
+
+A trigger for a set of TGDs ``Σ`` on an instance ``I`` is a pair ``(σ, h)``
+where ``σ ∈ Σ`` and ``h`` is a homomorphism from ``body(σ)`` to ``I``.  The
+result of the trigger is obtained by mapping each frontier variable through
+``h`` and each existentially quantified variable ``x`` to the labeled null
+``⊥^x_{σ, h|fr(σ)}`` — a null whose identity is determined by the TGD, the
+frontier restriction of ``h``, and the variable itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Sequence, Tuple
+
+from ..core.atoms import Atom
+from ..core.instances import Instance
+from ..core.substitutions import Substitution, homomorphisms, match_atom
+from ..core.terms import NullFactory, Term, Variable
+from ..core.tgds import TGD, TGDSet
+
+
+@dataclass(frozen=True)
+class Trigger:
+    """A trigger ``(σ, h)`` together with the index of ``σ`` in its TGD set.
+
+    ``tgd_index`` disambiguates syntactically equal TGDs that may appear in
+    different rule sets and keys the invented nulls, mirroring the paper's
+    ``⊥^x_{σ, h|fr(σ)}`` naming scheme.
+    """
+
+    tgd: TGD
+    tgd_index: int
+    homomorphism: Substitution
+
+    def frontier_assignment(self) -> Tuple[Tuple[Variable, Term], ...]:
+        """Return ``h|fr(σ)`` as a sorted, hashable tuple of pairs."""
+        frontier = self.tgd.frontier()
+        return tuple(
+            sorted(
+                ((var, self.homomorphism[var]) for var in frontier),
+                key=lambda pair: pair[0].name,
+            )
+        )
+
+    def semi_oblivious_key(self):
+        """Key under which the semi-oblivious chase fires this trigger at most once."""
+        return (self.tgd_index, self.frontier_assignment())
+
+    def oblivious_key(self):
+        """Key under which the oblivious chase fires this trigger at most once."""
+        body_assignment = tuple(
+            sorted(self.homomorphism.items(), key=lambda pair: pair[0].name)
+        )
+        return (self.tgd_index, body_assignment)
+
+    def result(self, null_factory: NullFactory, null_scope: str = "frontier") -> Tuple[Atom, ...]:
+        """Compute ``result(σ, h)``: the head atoms with nulls for existential variables.
+
+        ``null_scope`` selects the null-naming policy: ``"frontier"`` keys
+        nulls by ``(σ, h|fr(σ), x)`` as in Definition 3.1 (semi-oblivious and
+        restricted chase); ``"homomorphism"`` keys them by the full body
+        homomorphism, which is what the oblivious chase needs so that every
+        distinct body witness invents fresh nulls.
+        """
+        if null_scope not in ("frontier", "homomorphism"):
+            raise ValueError("null_scope must be 'frontier' or 'homomorphism'")
+        mapping: Dict[Term, Term] = {}
+        frontier = self.tgd.frontier()
+        if null_scope == "frontier":
+            witness_key = self.frontier_assignment()
+        else:
+            witness_key = tuple(
+                sorted(self.homomorphism.items(), key=lambda pair: pair[0].name)
+            )
+        for variable in self.tgd.head_variables():
+            if variable in frontier:
+                mapping[variable] = self.homomorphism[variable]
+            else:
+                null_key = (self.tgd_index, witness_key, variable.name)
+                mapping[variable] = null_factory.for_key(null_key)
+        substitution = Substitution(mapping)
+        return substitution.apply_all(self.tgd.head)
+
+
+def triggers_on(
+    tgds: Sequence[TGD], instance: Instance, restrict_to_atoms=None
+) -> Iterator[Trigger]:
+    """Enumerate ``T(Σ, I)``: all triggers for *tgds* on *instance*.
+
+    When *restrict_to_atoms* is given (a collection of atoms), only
+    homomorphisms that use at least one of those atoms for some body atom are
+    produced.  The chase engines use this to enumerate only the *new*
+    triggers created by the atoms added in the previous round, which is what
+    keeps round ``i`` from re-discovering every trigger of rounds ``< i``.
+    """
+    restricted = None if restrict_to_atoms is None else set(restrict_to_atoms)
+    for index, tgd in enumerate(tgds):
+        if restricted is not None and len(tgd.body) == 1:
+            # Fast path for linear TGDs: a new trigger must match one of the
+            # newly added atoms, so enumerate those directly instead of
+            # re-scanning the whole relation every round.
+            body_atom = tgd.body[0]
+            for candidate in restricted:
+                if candidate.predicate != body_atom.predicate:
+                    continue
+                assignment = match_atom(body_atom, candidate, None)
+                if assignment is not None:
+                    yield Trigger(tgd, index, Substitution(assignment))
+            continue
+        for substitution in homomorphisms(tgd.body, instance):
+            if restricted is not None:
+                images = substitution.apply_all(tgd.body)
+                if not any(atom in restricted for atom in images):
+                    continue
+            yield Trigger(tgd, index, substitution)
+
+
+def trigger_count(tgds: TGDSet, instance: Instance) -> int:
+    """Return ``|T(Σ, I)|`` — mostly useful in tests and diagnostics."""
+    return sum(1 for _ in triggers_on(tuple(tgds), instance))

@@ -1,0 +1,144 @@
+"""Command-line interface: ``repro-experiments``.
+
+Subcommands
+-----------
+``check``
+    Run a termination check on a rule file (and optional fact file).
+``run``
+    Regenerate one of the paper's figures or tables and print its rows
+    (optionally writing them to CSV).
+``list``
+    List the available experiments and presets.
+
+Examples
+--------
+::
+
+    repro-experiments check --rules rules.txt --facts data.txt
+    repro-experiments run figure1 --preset smoke
+    repro-experiments run table2 --csv table2.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.instances import Database, induced_database
+from .core.parser import load_database, load_rules
+from .experiments import (
+    ABLATION_RUNNERS,
+    ALL_RUNNERS,
+    PRESETS,
+    preset,
+)
+from .experiments.reporting import format_table, summarize_figure, write_csv
+from .termination import is_chase_finite_l, is_chase_finite_sl
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Chase-termination checkers and the VLDB'23 experiment harness.",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    check = subparsers.add_parser("check", help="check chase termination for a rule file")
+    check.add_argument("--rules", required=True, help="path to the rule file")
+    check.add_argument("--facts", help="path to the fact file (defaults to the induced database)")
+    check.add_argument(
+        "--algorithm",
+        choices=("auto", "sl", "l"),
+        default="auto",
+        help="which checker to run (auto picks SL when the rules are simple-linear)",
+    )
+
+    run = subparsers.add_parser("run", help="regenerate a figure, table, or ablation")
+    run.add_argument("experiment", help="experiment id (see 'list')")
+    run.add_argument("--preset", default="default", choices=sorted(PRESETS), help="scale preset")
+    run.add_argument("--csv", help="write the raw rows to this CSV file")
+    run.add_argument("--raw", action="store_true", help="print raw rows instead of the grouped summary")
+    run.add_argument("--scale", type=float, help="data scale for table runs (scenario builders)")
+    run.add_argument(
+        "--scenarios",
+        help="comma-separated scenario names for table runs (default: all laptop-sized scenarios)",
+    )
+
+    subparsers.add_parser("list", help="list available experiments and presets")
+    return parser
+
+
+def _command_check(args) -> int:
+    tgds = load_rules(args.rules)
+    if args.facts:
+        database = load_database(args.facts)
+    else:
+        database = induced_database(tgds)
+
+    algorithm = args.algorithm
+    if algorithm == "auto":
+        algorithm = "sl" if tgds.is_simple_linear() else "l"
+    if algorithm == "sl":
+        report = is_chase_finite_sl(database, tgds)
+    else:
+        report = is_chase_finite_l(database, tgds)
+
+    verdict = "FINITE" if report.finite else "INFINITE"
+    print(f"{report.algorithm}: the semi-oblivious chase is {verdict}")
+    for key, value in sorted(report.statistics.items()):
+        print(f"  {key}: {value}")
+    for key, value in report.timings.as_dict().items():
+        print(f"  {key}: {value * 1000:.2f} ms")
+    return 0
+
+
+def _command_run(args) -> int:
+    runners = {**ALL_RUNNERS, **ABLATION_RUNNERS}
+    if args.experiment not in runners:
+        print(f"unknown experiment {args.experiment!r}; run 'repro-experiments list'", file=sys.stderr)
+        return 2
+    runner = runners[args.experiment]
+    if args.experiment.startswith("table"):
+        names = args.scenarios.split(",") if args.scenarios else None
+        rows = runner(names=names, scale=args.scale)
+    elif args.experiment in ABLATION_RUNNERS:
+        rows = runner(preset(args.preset))
+    else:
+        rows = runner(preset(args.preset))
+    if args.csv:
+        write_csv(rows, args.csv)
+        print(f"wrote {len(rows)} rows to {args.csv}")
+    if args.raw:
+        print(format_table(rows, title=args.experiment))
+    else:
+        print(summarize_figure(rows))
+    return 0
+
+
+def _command_list() -> int:
+    print("experiments:")
+    for name in sorted({**ALL_RUNNERS, **ABLATION_RUNNERS}):
+        print(f"  {name}")
+    print("presets:")
+    for name in sorted(PRESETS):
+        print(f"  {name}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro-experiments`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "check":
+        return _command_check(args)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "list":
+        return _command_list()
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,152 @@
+"""Instances and databases.
+
+An *instance* is a (possibly growing) set of ground atoms over constants and
+nulls; a *database* is a finite set of facts (constant-only atoms).  The
+chase starts from a database and produces an instance.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..exceptions import ValidationError
+from .atoms import Atom
+from .predicates import Predicate, Schema
+from .terms import Constant, Null, Term
+
+
+class Instance:
+    """A mutable set of ground atoms indexed by predicate.
+
+    The per-predicate index is what makes trigger enumeration for linear
+    TGDs (one body atom) linear in the number of matching atoms rather than
+    in the size of the whole instance.
+    """
+
+    def __init__(self, atoms: Iterable[Atom] = ()):
+        self._by_predicate: Dict[Predicate, Set[Atom]] = defaultdict(set)
+        self._size = 0
+        self.add_all(atoms)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+
+    def add(self, atom: Atom) -> bool:
+        """Add *atom*; return ``True`` when it was not already present."""
+        if not atom.is_ground():
+            raise ValidationError(f"instances contain ground atoms only, got {atom!r}")
+        bucket = self._by_predicate[atom.predicate]
+        if atom in bucket:
+            return False
+        bucket.add(atom)
+        self._size += 1
+        return True
+
+    def add_all(self, atoms: Iterable[Atom]) -> int:
+        """Add every atom of *atoms*; return how many were new."""
+        return sum(1 for atom in atoms if self.add(atom))
+
+    # ------------------------------------------------------------------ #
+    # Queries
+
+    def __contains__(self, atom: Atom) -> bool:
+        bucket = self._by_predicate.get(atom.predicate)
+        return bucket is not None and atom in bucket
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Atom]:
+        for predicate in sorted(self._by_predicate):
+            yield from sorted(self._by_predicate[predicate])
+
+    def __eq__(self, other):
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return set(self) == set(other)
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self._size} atoms, {len(self._by_predicate)} predicates)"
+
+    def atoms(self) -> FrozenSet[Atom]:
+        """Return all atoms as a frozen set."""
+        return frozenset(a for bucket in self._by_predicate.values() for a in bucket)
+
+    def atoms_with_predicate(self, predicate: Predicate) -> FrozenSet[Atom]:
+        """Return the atoms whose predicate is *predicate* (possibly empty)."""
+        return frozenset(self._by_predicate.get(predicate, frozenset()))
+
+    def predicates(self) -> FrozenSet[Predicate]:
+        """Return the predicates that have at least one atom."""
+        return frozenset(p for p, bucket in self._by_predicate.items() if bucket)
+
+    def schema(self) -> Schema:
+        """Return a :class:`Schema` over the non-empty predicates."""
+        return Schema(self.predicates())
+
+    def domain(self) -> FrozenSet[Term]:
+        """Return ``dom(I)``: the constants and nulls occurring in the instance."""
+        result: Set[Term] = set()
+        for bucket in self._by_predicate.values():
+            for atom in bucket:
+                result.update(atom.terms)
+        return frozenset(result)
+
+    def constants(self) -> FrozenSet[Constant]:
+        """Return the constants occurring in the instance."""
+        return frozenset(t for t in self.domain() if isinstance(t, Constant))
+
+    def nulls(self) -> FrozenSet[Null]:
+        """Return the labeled nulls occurring in the instance."""
+        return frozenset(t for t in self.domain() if isinstance(t, Null))
+
+    def copy(self) -> "Instance":
+        """Return a shallow copy (atoms are immutable so this is safe)."""
+        clone = type(self)()
+        for predicate, bucket in self._by_predicate.items():
+            clone._by_predicate[predicate] = set(bucket)
+            clone._size += len(bucket)
+        return clone
+
+
+class Database(Instance):
+    """A finite set of facts (atoms over constants only)."""
+
+    def add(self, atom: Atom) -> bool:
+        if not atom.is_fact():
+            raise ValidationError(
+                f"databases contain facts (constants only), got {atom!r}"
+            )
+        return super().add(atom)
+
+    def to_instance(self) -> Instance:
+        """Return a plain :class:`Instance` copy (used as the chase seed)."""
+        return Instance(self.atoms())
+
+
+def induced_database(schema_or_tgds, constant_prefix: str = "c") -> Database:
+    """Build the database ``D_Σ`` induced by a schema or TGD set (Remark 1, §7).
+
+    ``D_Σ`` has exactly one atom ``R(c1, ..., cn)`` with pairwise distinct
+    constants for each predicate ``R`` of the schema.  The paper uses this
+    database in the simple-linear experiments so that every position of every
+    special SCC is trivially supported.
+    """
+    from .tgds import TGDSet  # local import to avoid a cycle
+
+    if isinstance(schema_or_tgds, TGDSet):
+        schema = schema_or_tgds.schema()
+    elif isinstance(schema_or_tgds, Schema):
+        schema = schema_or_tgds
+    else:
+        schema = Schema(schema_or_tgds)
+
+    database = Database()
+    for predicate in schema:
+        terms = tuple(
+            Constant(f"{constant_prefix}_{predicate.name}_{i}")
+            for i in range(1, predicate.arity + 1)
+        )
+        database.add(Atom(predicate, terms))
+    return database

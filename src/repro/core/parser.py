@@ -1,0 +1,205 @@
+"""Parsing of rule files and database files.
+
+The textual formats follow the conventions of existing chase tools (Graal,
+ChaseBench) adapted to plain ASCII:
+
+* **Rules**: one TGD per line, written ``R(x,y), S(y) -> T(x,z)``.
+  Variables are identifiers starting with a lower-case letter or ``?``;
+  every head variable that does not occur in the body is read as
+  existentially quantified.  ``%`` and ``#`` start line comments.
+* **Facts**: one fact per line, written ``R(a, b).`` (the trailing dot is
+  optional).  Constants are identifiers, numbers, or single/double quoted
+  strings.
+
+The parser is deliberately hand-rolled (no regex-based tokenizer tricks)
+so that parse time scales linearly with input size — ``t-parse`` is one of
+the measured quantities in the paper and must not be dominated by pathological
+regex behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import ParseError
+from .atoms import Atom
+from .instances import Database
+from .predicates import Predicate, Schema
+from .terms import Constant, Term, Variable
+from .tgds import TGD, TGDSet
+
+_COMMENT_PREFIXES = ("%", "#", "//")
+_IMPLICATION_TOKENS = ("->", ":-", "=>")
+
+
+def _strip_comment(line: str) -> str:
+    """Remove a trailing line comment (``%``, ``#`` or ``//``)."""
+    cut = len(line)
+    for prefix in _COMMENT_PREFIXES:
+        index = line.find(prefix)
+        if index != -1:
+            cut = min(cut, index)
+    return line[:cut]
+
+
+def _split_top_level(text: str, separator: str = ",") -> List[str]:
+    """Split *text* on *separator* occurrences outside parentheses and quotes."""
+    parts: List[str] = []
+    depth = 0
+    quote = None
+    current: List[str] = []
+    for char in text:
+        if quote is not None:
+            current.append(char)
+            if char == quote:
+                quote = None
+            continue
+        if char in "\"'":
+            quote = char
+            current.append(char)
+            continue
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+            if depth < 0:
+                raise ParseError(f"unbalanced ')' in {text!r}")
+        if char == separator and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if depth != 0:
+        raise ParseError(f"unbalanced '(' in {text!r}")
+    if quote is not None:
+        raise ParseError(f"unterminated quote in {text!r}")
+    parts.append("".join(current))
+    return [part.strip() for part in parts if part.strip()]
+
+
+def _parse_term(token: str, as_variable: bool) -> Term:
+    """Parse a single term token as a variable (rules) or a constant (facts)."""
+    token = token.strip()
+    if not token:
+        raise ParseError("empty term")
+    if token.startswith("?"):
+        return Variable(token[1:] or token)
+    if token[0] in "\"'" and token[-1] == token[0] and len(token) >= 2:
+        return Constant(token[1:-1])
+    if as_variable:
+        return Variable(token)
+    return Constant(token)
+
+
+def parse_atom(text: str, as_variable: bool = True, schema: Optional[Schema] = None) -> Atom:
+    """Parse a single atom like ``R(x, y)``.
+
+    Parameters
+    ----------
+    text:
+        The atom text.
+    as_variable:
+        When ``True`` (rule context) bare identifiers are variables; when
+        ``False`` (fact context) they are constants.
+    schema:
+        Optional schema used to canonicalize predicates and catch arity
+        conflicts across lines.
+    """
+    text = text.strip()
+    open_index = text.find("(")
+    if open_index <= 0 or not text.endswith(")"):
+        raise ParseError(f"malformed atom {text!r}")
+    name = text[:open_index].strip()
+    if not name:
+        raise ParseError(f"malformed atom {text!r}: missing predicate name")
+    args_text = text[open_index + 1 : -1]
+    arg_tokens = _split_top_level(args_text)
+    if not arg_tokens:
+        raise ParseError(f"malformed atom {text!r}: predicates must have arity >= 1")
+    terms = tuple(_parse_term(token, as_variable) for token in arg_tokens)
+    predicate = Predicate(name, len(terms))
+    if schema is not None:
+        predicate = schema.add(predicate)
+    return Atom(predicate, terms)
+
+
+def parse_tgd(text: str, schema: Optional[Schema] = None, label: Optional[str] = None) -> TGD:
+    """Parse a single TGD like ``R(x,y), S(y) -> T(x,z)``."""
+    text = _strip_comment(text).strip().rstrip(".")
+    arrow = None
+    for token in _IMPLICATION_TOKENS:
+        if token in text:
+            arrow = token
+            break
+    if arrow is None:
+        raise ParseError(f"no implication arrow in rule {text!r}")
+    left, right = text.split(arrow, 1)
+    if arrow == ":-":
+        # Datalog orientation: head :- body.
+        left, right = right, left
+    body = tuple(parse_atom(part, as_variable=True, schema=schema) for part in _split_top_level(left))
+    head = tuple(parse_atom(part, as_variable=True, schema=schema) for part in _split_top_level(right))
+    if not body or not head:
+        raise ParseError(f"rule {text!r} must have a non-empty body and head")
+    return TGD(body, head, label=label)
+
+
+def parse_fact(text: str, schema: Optional[Schema] = None) -> Atom:
+    """Parse a single fact like ``R(a, b).``."""
+    text = _strip_comment(text).strip().rstrip(".")
+    atom = parse_atom(text, as_variable=False, schema=schema)
+    if not atom.is_fact():
+        raise ParseError(f"fact {text!r} contains non-constant terms")
+    return atom
+
+
+def iter_meaningful_lines(lines: Iterable[str]) -> Iterator[Tuple[int, str]]:
+    """Yield (1-based line number, stripped content) for non-empty, non-comment lines."""
+    for number, raw in enumerate(lines, start=1):
+        content = _strip_comment(raw).strip()
+        if content:
+            yield number, content
+
+
+def parse_rules(text_or_lines, schema: Optional[Schema] = None) -> TGDSet:
+    """Parse a rule program (string or iterable of lines) into a :class:`TGDSet`."""
+    if isinstance(text_or_lines, str):
+        lines: Iterable[str] = text_or_lines.splitlines()
+    else:
+        lines = text_or_lines
+    schema = schema if schema is not None else Schema()
+    tgds = TGDSet()
+    for number, content in iter_meaningful_lines(lines):
+        try:
+            tgds.add(parse_tgd(content, schema=schema, label=f"r{number}"))
+        except ParseError as error:
+            raise ParseError(str(error), line_number=number, line=content) from error
+    return tgds
+
+
+def parse_database(text_or_lines, schema: Optional[Schema] = None) -> Database:
+    """Parse a fact file (string or iterable of lines) into a :class:`Database`."""
+    if isinstance(text_or_lines, str):
+        lines: Iterable[str] = text_or_lines.splitlines()
+    else:
+        lines = text_or_lines
+    schema = schema if schema is not None else Schema()
+    database = Database()
+    for number, content in iter_meaningful_lines(lines):
+        try:
+            database.add(parse_fact(content, schema=schema))
+        except ParseError as error:
+            raise ParseError(str(error), line_number=number, line=content) from error
+    return database
+
+
+def load_rules(path, schema: Optional[Schema] = None) -> TGDSet:
+    """Parse the rule file at *path*."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_rules(handle, schema=schema)
+
+
+def load_database(path, schema: Optional[Schema] = None) -> Database:
+    """Parse the fact file at *path*."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_database(handle, schema=schema)

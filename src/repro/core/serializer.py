@@ -1,0 +1,77 @@
+"""Serialization of rules and databases back to the textual format.
+
+The serializer emits exactly the format accepted by :mod:`repro.core.parser`,
+so that ``parse(serialize(x)) == x`` (modulo predicate canonicalization).
+The experiment harness uses this to materialise generated rule sets to disk
+so that ``t-parse`` — one of the paper's time parameters — measures a real
+file-parsing pass rather than an in-memory no-op.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .atoms import Atom
+from .instances import Database, Instance
+from .terms import Constant, Null, Term, Variable
+from .tgds import TGD, TGDSet
+
+
+def _needs_quoting(name: str) -> bool:
+    """Return ``True`` when a constant name must be quoted to parse back."""
+    if not name:
+        return True
+    if any(ch in name for ch in "(),. \t\"'%#"):
+        return True
+    return name.startswith("?")
+
+
+def serialize_term(term: Term, in_rule: bool) -> str:
+    """Render a single term."""
+    if isinstance(term, Variable):
+        return term.name if in_rule else f"?{term.name}"
+    if isinstance(term, Null):
+        return f'"_:{term.name}"'
+    if isinstance(term, Constant):
+        return f'"{term.name}"' if _needs_quoting(term.name) else term.name
+    raise TypeError(f"cannot serialize term {term!r}")
+
+
+def serialize_atom(atom: Atom, in_rule: bool = True) -> str:
+    """Render a single atom, e.g. ``R(x,y)`` or ``R(a,b)``."""
+    args = ",".join(serialize_term(term, in_rule) for term in atom.terms)
+    return f"{atom.predicate.name}({args})"
+
+
+def serialize_tgd(tgd: TGD) -> str:
+    """Render a single TGD in ``body -> head`` form."""
+    body = ", ".join(serialize_atom(atom, in_rule=True) for atom in tgd.body)
+    head = ", ".join(serialize_atom(atom, in_rule=True) for atom in tgd.head)
+    return f"{body} -> {head}"
+
+
+def serialize_rules(tgds: Iterable[TGD]) -> str:
+    """Render a rule program, one TGD per line."""
+    return "\n".join(serialize_tgd(tgd) for tgd in tgds) + "\n"
+
+
+def serialize_fact(atom: Atom) -> str:
+    """Render a single fact with a trailing dot."""
+    return serialize_atom(atom, in_rule=False) + "."
+
+
+def serialize_database(database: Instance) -> str:
+    """Render a database (or instance), one fact per line."""
+    return "\n".join(serialize_fact(atom) for atom in database) + "\n"
+
+
+def dump_rules(tgds: Iterable[TGD], path) -> None:
+    """Write a rule program to *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(serialize_rules(tgds))
+
+
+def dump_database(database: Instance, path) -> None:
+    """Write a database to *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(serialize_database(database))

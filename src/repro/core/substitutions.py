@@ -1,0 +1,178 @@
+"""Substitutions and homomorphisms.
+
+A substitution is a mapping from terms to terms; a homomorphism from a set
+of atoms ``A`` to a set of atoms ``B`` is a substitution that is the identity
+on constants and maps every atom of ``A`` into ``B``.  Homomorphism search
+is the work-horse of the chase (trigger enumeration) and of the restricted
+chase's head-satisfaction check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .atoms import Atom
+from .instances import Instance
+from .terms import Constant, Term, Variable
+
+
+class Substitution:
+    """An immutable mapping from terms to terms.
+
+    Only variables may be remapped; constants are always mapped to
+    themselves (the identity-on-``C`` requirement for homomorphisms).
+    """
+
+    __slots__ = ("_mapping",)
+
+    def __init__(self, mapping: Optional[Dict[Term, Term]] = None):
+        mapping = dict(mapping or {})
+        for source in mapping:
+            if isinstance(source, Constant) and mapping[source] != source:
+                raise ValueError(
+                    f"a substitution must be the identity on constants, "
+                    f"found {source} -> {mapping[source]}"
+                )
+        object.__setattr__(self, "_mapping", mapping)
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Substitution is immutable")
+
+    def __getitem__(self, term: Term) -> Term:
+        if isinstance(term, Constant):
+            return term
+        return self._mapping[term]
+
+    def get(self, term: Term, default: Optional[Term] = None) -> Optional[Term]:
+        """Return the image of *term*, constants map to themselves."""
+        if isinstance(term, Constant):
+            return term
+        return self._mapping.get(term, default)
+
+    def __contains__(self, term: Term) -> bool:
+        return isinstance(term, Constant) or term in self._mapping
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self._mapping)
+
+    def __eq__(self, other):
+        if not isinstance(other, Substitution):
+            return NotImplemented
+        return self._mapping == other._mapping
+
+    def __hash__(self):
+        return hash(frozenset(self._mapping.items()))
+
+    def __repr__(self):
+        inner = ", ".join(f"{k}->{v}" for k, v in sorted(self._mapping.items()))
+        return f"Substitution({{{inner}}})"
+
+    def items(self):
+        """Return the explicit (non-identity) mappings."""
+        return self._mapping.items()
+
+    def as_dict(self) -> Dict[Term, Term]:
+        """Return a fresh dict copy of the explicit mappings."""
+        return dict(self._mapping)
+
+    def restrict(self, terms: Iterable[Term]) -> "Substitution":
+        """Return ``h|S``: the restriction of the substitution to *terms*."""
+        keep = set(terms)
+        return Substitution({k: v for k, v in self._mapping.items() if k in keep})
+
+    def extend(self, mapping: Dict[Term, Term]) -> "Substitution":
+        """Return a new substitution with extra mappings (must not conflict)."""
+        merged = dict(self._mapping)
+        for key, value in mapping.items():
+            existing = merged.get(key)
+            if existing is not None and existing != value:
+                raise ValueError(f"conflicting mapping for {key}: {existing} vs {value}")
+            merged[key] = value
+        return Substitution(merged)
+
+    def apply(self, atom: Atom) -> Atom:
+        """Apply the substitution to an atom (unmapped variables stay put)."""
+        return Atom(
+            atom.predicate,
+            tuple(self.get(term, term) for term in atom.terms),
+        )
+
+    def apply_all(self, atoms: Iterable[Atom]) -> Tuple[Atom, ...]:
+        """Apply the substitution to every atom of *atoms*."""
+        return tuple(self.apply(atom) for atom in atoms)
+
+
+def match_atom(pattern: Atom, target: Atom, base: Optional[Dict[Term, Term]] = None):
+    """Try to extend *base* into a substitution mapping *pattern* onto *target*.
+
+    Returns the extended mapping dict, or ``None`` when no consistent
+    extension exists.  Constants in the pattern must match verbatim.
+    """
+    if pattern.predicate != target.predicate:
+        return None
+    mapping = dict(base or {})
+    for source, image in zip(pattern.terms, target.terms):
+        if isinstance(source, Constant):
+            if source != image:
+                return None
+            continue
+        bound = mapping.get(source)
+        if bound is None:
+            mapping[source] = image
+        elif bound != image:
+            return None
+    return mapping
+
+
+def homomorphisms(
+    atoms: Sequence[Atom],
+    instance: Instance,
+    base: Optional[Dict[Term, Term]] = None,
+) -> Iterator[Substitution]:
+    """Enumerate the homomorphisms from *atoms* into *instance*.
+
+    The search proceeds atom by atom, using the instance's per-predicate
+    index; partial assignments prune inconsistent branches early.  For linear
+    TGDs (a single body atom) this degenerates into a single scan over the
+    matching relation, which is exactly the access pattern the paper's
+    implementation relies on.
+    """
+    atoms = list(atoms)
+
+    def _search(index: int, mapping: Dict[Term, Term]) -> Iterator[Dict[Term, Term]]:
+        if index == len(atoms):
+            yield mapping
+            return
+        pattern = atoms[index]
+        for candidate in instance.atoms_with_predicate(pattern.predicate):
+            extended = match_atom(pattern, candidate, mapping)
+            if extended is not None:
+                yield from _search(index + 1, extended)
+
+    for assignment in _search(0, dict(base or {})):
+        yield Substitution(assignment)
+
+
+def has_homomorphism(
+    atoms: Sequence[Atom],
+    instance: Instance,
+    base: Optional[Dict[Term, Term]] = None,
+) -> bool:
+    """Return ``True`` when at least one homomorphism from *atoms* to *instance* exists."""
+    for _ in homomorphisms(atoms, instance, base):
+        return True
+    return False
+
+
+def is_homomorphism(
+    substitution: Substitution, atoms: Sequence[Atom], instance: Instance
+) -> bool:
+    """Check that *substitution* maps every atom of *atoms* into *instance*."""
+    try:
+        images = substitution.apply_all(atoms)
+    except KeyError:
+        return False
+    return all(image in instance for image in images)

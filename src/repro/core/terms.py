@@ -1,0 +1,137 @@
+"""Terms: constants, labeled nulls, and variables.
+
+The paper (Section 2) considers three disjoint countably infinite sets:
+constants ``C``, labeled nulls ``N``, and variables ``V``.  Constants appear
+in databases, nulls are invented by the chase as witnesses for existentially
+quantified variables, and variables appear in TGDs.
+
+All three classes are immutable and hashable, so they can be used freely as
+dictionary keys and set members (the chase and the homomorphism machinery
+rely on this heavily).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+
+class Term:
+    """Abstract base class of :class:`Constant`, :class:`Null`, :class:`Variable`."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        if not isinstance(name, str) or not name:
+            raise TypeError(f"term name must be a non-empty string, got {name!r}")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, key, value):
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.name == other.name
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.name))
+
+    def __lt__(self, other):
+        if not isinstance(other, Term):
+            return NotImplemented
+        return (type(self).__name__, self.name) < (type(other).__name__, other.name)
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.name!r})"
+
+    def __str__(self):
+        return self.name
+
+
+class Constant(Term):
+    """A database constant (an element of ``C``)."""
+
+    __slots__ = ()
+
+
+class Null(Term):
+    """A labeled null (an element of ``N``) invented by the chase."""
+
+    __slots__ = ()
+
+    def __str__(self):
+        return f"_:{self.name}"
+
+
+class Variable(Term):
+    """A first-order variable (an element of ``V``) used inside TGDs."""
+
+    __slots__ = ()
+
+    def __str__(self):
+        return f"?{self.name}"
+
+
+GroundTerm = Union[Constant, Null]
+
+
+def is_constant(term):
+    """Return ``True`` when *term* is a :class:`Constant`."""
+    return isinstance(term, Constant)
+
+
+def is_null(term):
+    """Return ``True`` when *term* is a :class:`Null`."""
+    return isinstance(term, Null)
+
+
+def is_variable(term):
+    """Return ``True`` when *term* is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_ground(term):
+    """Return ``True`` when *term* is a constant or a null (i.e., not a variable)."""
+    return isinstance(term, (Constant, Null))
+
+
+def constants(names):
+    """Build a tuple of :class:`Constant` from an iterable of names."""
+    return tuple(Constant(str(name)) for name in names)
+
+
+def variables(names):
+    """Build a tuple of :class:`Variable` from an iterable of names."""
+    return tuple(Variable(str(name)) for name in names)
+
+
+class NullFactory:
+    """Deterministic factory of labeled nulls.
+
+    The semi-oblivious chase names each invented null after the trigger that
+    created it (Definition 3.1): the null for the existential variable ``x``
+    of TGD ``sigma`` under the frontier assignment ``h|fr(sigma)`` is written
+    ``⊥^x_{sigma, h|fr}``.  This factory reproduces that behaviour: asking
+    twice for the same key returns the *same* null object, which is what
+    makes the semi-oblivious chase apply each TGD at most once per frontier
+    witness.
+    """
+
+    def __init__(self, prefix="n"):
+        self._prefix = prefix
+        self._by_key = {}
+        self._counter = 0
+
+    def __len__(self):
+        return self._counter
+
+    def fresh(self):
+        """Return a brand-new null, never seen before and not keyed."""
+        self._counter += 1
+        return Null(f"{self._prefix}{self._counter}")
+
+    def for_key(self, key):
+        """Return the null associated with *key*, creating it on first use."""
+        null = self._by_key.get(key)
+        if null is None:
+            null = self.fresh()
+            self._by_key[key] = null
+        return null

@@ -1,0 +1,71 @@
+"""Experiment harness: figure/table/ablation runners, configs, and reporting."""
+
+from .ablations import (
+    ABLATION_RUNNERS,
+    ablation_materialization_vs_acyclicity,
+    ablation_static_vs_dynamic_simplification,
+)
+from .config import DEFAULT, PAPER, PRESETS, SMOKE, ExperimentConfig, preset
+from .figures import (
+    FIGURE_RUNNERS,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure_db_independent_vs_size,
+    figure_edges,
+)
+from .reporting import format_table, group_mean, summarize_figure, write_csv
+from .tables import TABLE_RUNNERS, table1, table2
+from .workloads import (
+    LinearRuleSet,
+    SimpleLinearWorkload,
+    build_dstar,
+    dstar_views,
+    linear_rule_sets,
+    restrict_view_to_rules,
+    simple_linear_workloads,
+)
+
+#: Every runner keyed by experiment id (used by the CLI and the benchmarks).
+ALL_RUNNERS = {**FIGURE_RUNNERS, **TABLE_RUNNERS}
+
+__all__ = [
+    "ABLATION_RUNNERS",
+    "ALL_RUNNERS",
+    "DEFAULT",
+    "ExperimentConfig",
+    "FIGURE_RUNNERS",
+    "LinearRuleSet",
+    "PAPER",
+    "PRESETS",
+    "SMOKE",
+    "SimpleLinearWorkload",
+    "TABLE_RUNNERS",
+    "ablation_materialization_vs_acyclicity",
+    "ablation_static_vs_dynamic_simplification",
+    "build_dstar",
+    "dstar_views",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure_db_independent_vs_size",
+    "figure_edges",
+    "format_table",
+    "group_mean",
+    "linear_rule_sets",
+    "preset",
+    "restrict_view_to_rules",
+    "simple_linear_workloads",
+    "summarize_figure",
+    "table1",
+    "table2",
+    "write_csv",
+]

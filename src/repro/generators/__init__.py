@@ -1,0 +1,47 @@
+"""Shape-controlled data and TGD generators plus the paper's workload profiles."""
+
+from .data_generator import DataGenerator, DataGeneratorConfig, generate_database
+from .profiles import (
+    CombinedProfile,
+    PAPER_ARITY_RANGE,
+    PAPER_PREDICATE_PROFILES,
+    PAPER_SCHEMA_SIZE,
+    PAPER_TGD_PROFILES,
+    PAPER_TUPLES_PER_PREDICATE,
+    PredicateProfile,
+    TGDProfile,
+    combined_profiles,
+    database_sizes,
+    paper_predicate_profiles,
+    paper_tgd_profiles,
+)
+from .tgd_generator import (
+    DEFAULT_EXISTENTIAL_PROBABILITY,
+    TGDGenerator,
+    TGDGeneratorConfig,
+    generate_tgds,
+    make_schema,
+)
+
+__all__ = [
+    "CombinedProfile",
+    "DEFAULT_EXISTENTIAL_PROBABILITY",
+    "DataGenerator",
+    "DataGeneratorConfig",
+    "PAPER_ARITY_RANGE",
+    "PAPER_PREDICATE_PROFILES",
+    "PAPER_SCHEMA_SIZE",
+    "PAPER_TGD_PROFILES",
+    "PAPER_TUPLES_PER_PREDICATE",
+    "PredicateProfile",
+    "TGDGenerator",
+    "TGDGeneratorConfig",
+    "TGDProfile",
+    "combined_profiles",
+    "database_sizes",
+    "generate_database",
+    "generate_tgds",
+    "make_schema",
+    "paper_predicate_profiles",
+    "paper_tgd_profiles",
+]

@@ -1,0 +1,155 @@
+"""The shape-controlled data generator (Section 6.1).
+
+Existing generators (TPC-H, DataFiller) cannot control the *shape* of the
+generated atoms, which is the property the dynamic-simplification experiments
+depend on.  The paper therefore builds its own generator, parameterised by
+
+* ``preds``  — number of predicates in the generated database,
+* ``min``/``max`` — arity range of those predicates,
+* ``dsize``  — size of the database domain (number of distinct constants),
+* ``rsize``  — number of tuples per relation.
+
+Each tuple is produced by first drawing a *shape* uniformly at random and
+then filling the shape's blocks with distinct domain values, so that a shape
+fully determines how values repeat inside the tuple.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.predicates import Predicate, Schema
+from ..exceptions import ExperimentConfigError
+from ..simplification.shapes import identifier_tuples_of_arity
+from ..storage.database import RelationalDatabase
+
+
+@dataclass(frozen=True)
+class DataGeneratorConfig:
+    """The tuning parameters ``(preds, min, max, dsize, rsize)`` of Section 6.1."""
+
+    preds: int
+    min_arity: int
+    max_arity: int
+    dsize: int
+    rsize: int
+
+    def __post_init__(self):
+        if self.preds < 1:
+            raise ExperimentConfigError("preds must be >= 1")
+        if not 1 <= self.min_arity <= self.max_arity:
+            raise ExperimentConfigError("arity range must satisfy 1 <= min <= max")
+        if self.dsize < self.max_arity:
+            raise ExperimentConfigError(
+                "dsize must be at least max_arity (a tuple needs that many distinct values)"
+            )
+        if self.rsize < 0:
+            raise ExperimentConfigError("rsize must be >= 0")
+
+
+class DataGenerator:
+    """Shape-controlled synthetic database generator.
+
+    Parameters
+    ----------
+    config:
+        The tuning parameters.
+    seed:
+        Seed of the private random generator (the generator never touches the
+        global ``random`` state, so experiments are reproducible).
+    predicate_prefix / constant_prefix:
+        Naming prefixes for generated predicates and constants.
+    schema:
+        Optional pre-existing schema to draw predicates from; when given,
+        ``preds`` predicates with arity in range are sampled from it instead
+        of being created, so the database lines up with a rule set generated
+        over the same schema.
+    """
+
+    def __init__(
+        self,
+        config: DataGeneratorConfig,
+        seed: Optional[int] = None,
+        predicate_prefix: str = "p",
+        constant_prefix: str = "c",
+        schema: Optional[Schema] = None,
+    ):
+        self.config = config
+        self._rng = random.Random(seed)
+        self._predicate_prefix = predicate_prefix
+        self._constant_prefix = constant_prefix
+        self._schema = schema
+        # Pre-compute the shape (identifier tuple) catalogue per arity so a
+        # tuple draw is a single uniform choice.
+        self._shapes_by_arity = {
+            arity: list(identifier_tuples_of_arity(arity))
+            for arity in range(config.min_arity, config.max_arity + 1)
+        }
+
+    # ------------------------------------------------------------------ #
+    # Predicate and domain selection
+
+    def _choose_predicates(self) -> List[Predicate]:
+        config = self.config
+        if self._schema is not None:
+            eligible = [
+                predicate
+                for predicate in self._schema
+                if config.min_arity <= predicate.arity <= config.max_arity
+            ]
+            if len(eligible) < config.preds:
+                raise ExperimentConfigError(
+                    f"schema offers only {len(eligible)} predicates in the arity range, "
+                    f"but preds={config.preds} were requested"
+                )
+            return self._rng.sample(eligible, config.preds)
+        return [
+            Predicate(
+                f"{self._predicate_prefix}{index}",
+                self._rng.randint(config.min_arity, config.max_arity),
+            )
+            for index in range(1, config.preds + 1)
+        ]
+
+    def _domain(self) -> List[str]:
+        return [f"{self._constant_prefix}{index}" for index in range(1, self.config.dsize + 1)]
+
+    # ------------------------------------------------------------------ #
+    # Tuple generation
+
+    def _generate_row(self, arity: int, domain: Sequence[str]) -> Tuple[str, ...]:
+        """Draw a shape, then fill its blocks with distinct domain values."""
+        identifiers = self._rng.choice(self._shapes_by_arity[arity])
+        block_count = max(identifiers)
+        values = self._rng.sample(domain, block_count)
+        return tuple(values[identifier - 1] for identifier in identifiers)
+
+    # ------------------------------------------------------------------ #
+    # Entry points
+
+    def generate(self, name: str = "generated") -> RelationalDatabase:
+        """Generate the database into a fresh relational store."""
+        store = RelationalDatabase(name=name)
+        domain = self._domain()
+        for predicate in self._choose_predicates():
+            relation = store.create_relation(predicate)
+            for _ in range(self.config.rsize):
+                relation.insert(self._generate_row(predicate.arity, domain))
+        return store
+
+
+def generate_database(
+    preds: int,
+    min_arity: int,
+    max_arity: int,
+    dsize: int,
+    rsize: int,
+    seed: Optional[int] = None,
+    schema: Optional[Schema] = None,
+    name: str = "generated",
+) -> RelationalDatabase:
+    """Functional shorthand mirroring the paper's parameter tuple."""
+    config = DataGeneratorConfig(preds, min_arity, max_arity, dsize, rsize)
+    return DataGenerator(config, seed=seed, schema=schema).generate(name=name)

@@ -1,0 +1,222 @@
+"""Dependency graphs of TGD sets (Section 3 and Section 5.1).
+
+The dependency graph ``dg(Σ)`` of a set of TGDs is a directed multigraph
+whose nodes are the predicate positions of ``sch(Σ)``.  For every TGD
+``σ``, every frontier variable ``x`` and every body position ``π`` of ``x``:
+
+* a **normal** edge goes from ``π`` to every head position of ``x``;
+* a **special** edge goes from ``π`` to every head position of every
+  existentially quantified variable of ``σ``.
+
+Implementation notes (mirroring Section 5.1 of the paper):
+
+* the graph is stored as an adjacency structure with *both* forward and
+  reverse edge lists — the reverse lists are what make the ``Supports``
+  check a cheap reverse traversal;
+* an index from positions to node records gives O(1) access while streaming
+  over the TGDs, so construction is linear in the size of the rule set;
+* parallel edges between the same pair of positions are collapsed into a
+  single edge record that remembers whether *any* of the parallel edges was
+  special (this is sufficient for every algorithm in the paper and keeps the
+  graph small — the appendix of the paper makes the same observation when
+  discussing edge counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..core.atoms import positions_of
+from ..core.predicates import Position, Predicate, Schema
+from ..core.tgds import TGD, TGDSet
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed edge of the dependency graph."""
+
+    source: Position
+    target: Position
+    special: bool
+
+    def __str__(self):
+        marker = "=*=>" if self.special else "--->"
+        return f"{self.source} {marker} {self.target}"
+
+
+class _NodeRecord:
+    """Adjacency record of a single node: outgoing and incoming edge lists."""
+
+    __slots__ = ("position", "out_edges", "in_edges")
+
+    def __init__(self, position: Position):
+        self.position = position
+        self.out_edges: Dict[Position, bool] = {}
+        self.in_edges: Dict[Position, bool] = {}
+
+
+class DependencyGraph:
+    """The dependency graph ``dg(Σ)`` with forward and reverse adjacency."""
+
+    def __init__(self, schema: Optional[Schema] = None):
+        self._nodes: Dict[Position, _NodeRecord] = {}
+        if schema is not None:
+            for position in schema.positions():
+                self.add_node(position)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+
+    def add_node(self, position: Position) -> None:
+        """Ensure *position* is a node of the graph."""
+        if position not in self._nodes:
+            self._nodes[position] = _NodeRecord(position)
+
+    def add_edge(self, source: Position, target: Position, special: bool) -> None:
+        """Add an edge, collapsing parallel edges (special wins over normal)."""
+        self.add_node(source)
+        self.add_node(target)
+        source_record = self._nodes[source]
+        target_record = self._nodes[target]
+        source_record.out_edges[target] = source_record.out_edges.get(target, False) or special
+        target_record.in_edges[source] = target_record.in_edges.get(source, False) or special
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+
+    def __contains__(self, position: Position) -> bool:
+        return position in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> Tuple[Position, ...]:
+        """Return every node, sorted for reproducibility."""
+        return tuple(sorted(self._nodes))
+
+    def edges(self) -> List[Edge]:
+        """Return every (collapsed) edge of the graph."""
+        result = []
+        for position in sorted(self._nodes):
+            record = self._nodes[position]
+            for target in sorted(record.out_edges):
+                result.append(Edge(position, target, record.out_edges[target]))
+        return result
+
+    def edge_count(self) -> int:
+        """Return the number of collapsed edges."""
+        return sum(len(record.out_edges) for record in self._nodes.values())
+
+    def special_edge_count(self) -> int:
+        """Return the number of collapsed edges that are special."""
+        return sum(
+            1
+            for record in self._nodes.values()
+            for special in record.out_edges.values()
+            if special
+        )
+
+    def successors(self, position: Position) -> Iterator[Tuple[Position, bool]]:
+        """Yield ``(target, special)`` pairs for the outgoing edges of *position*."""
+        record = self._nodes.get(position)
+        if record is None:
+            return
+        for target, special in record.out_edges.items():
+            yield target, special
+
+    def predecessors(self, position: Position) -> Iterator[Tuple[Position, bool]]:
+        """Yield ``(source, special)`` pairs for the incoming edges of *position*."""
+        record = self._nodes.get(position)
+        if record is None:
+            return
+        for source, special in record.in_edges.items():
+            yield source, special
+
+    def has_edge(self, source: Position, target: Position) -> bool:
+        """Return ``True`` when the graph has an edge from *source* to *target*."""
+        record = self._nodes.get(source)
+        return record is not None and target in record.out_edges
+
+    def is_special_edge(self, source: Position, target: Position) -> bool:
+        """Return ``True`` when the (collapsed) edge is special."""
+        record = self._nodes.get(source)
+        return bool(record and record.out_edges.get(target, False))
+
+    def predicates(self) -> Set[Predicate]:
+        """Return the predicates mentioned by the nodes."""
+        return {position.predicate for position in self._nodes}
+
+    def positions_of_predicate(self, predicate: Predicate) -> List[Position]:
+        """Return the nodes whose predicate is *predicate*."""
+        return [p for p in self._nodes if p.predicate == predicate]
+
+    def to_networkx(self):
+        """Export to a ``networkx.DiGraph`` (edge attribute ``special``); optional dependency."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self._nodes)
+        for edge in self.edges():
+            graph.add_edge(edge.source, edge.target, special=edge.special)
+        return graph
+
+
+def build_support_graph(tgds: TGDSet) -> DependencyGraph:
+    """Build the dependency graph augmented for support/reachability checks.
+
+    The paper assumes TGDs with a non-empty frontier (Section 3), in which
+    case ``dg(Σ)`` itself is the right graph for the ``Supports`` check.  A
+    TGD with an *empty* frontier contributes no edges to ``dg(Σ)`` even
+    though it does propagate derivability (it can fire once and seed atoms
+    of its head predicates).  For the support check only — never for the
+    special-SCC search, because an empty-frontier rule fires at most once and
+    therefore cannot drive an infinite cycle — this builder adds a plain
+    normal edge from every body position to every head position of each
+    empty-frontier TGD, so that predicate-level reachability matches actual
+    derivability.
+    """
+    graph = build_dependency_graph(tgds)
+    for tgd in tgds:
+        if not tgd.has_empty_frontier():
+            continue
+        body_positions = [
+            position for atom in tgd.body for position in atom.predicate.positions()
+        ]
+        head_positions = [
+            position for atom in tgd.head for position in atom.predicate.positions()
+        ]
+        for source in body_positions:
+            for target in head_positions:
+                graph.add_edge(source, target, special=False)
+    return graph
+
+
+def build_dependency_graph(tgds: TGDSet) -> DependencyGraph:
+    """``BuildDepGraph(Σ)``: construct the dependency graph of a TGD set.
+
+    The construction streams over the TGDs once and touches each
+    (frontier-variable occurrence, head occurrence) pair a constant number of
+    times, i.e. it is linear in the size of the rule set, as required for the
+    ``t-graph`` measurements of the paper.
+    """
+    graph = DependencyGraph(schema=tgds.schema())
+    for tgd in tgds:
+        frontier = tgd.frontier()
+        existentials = tgd.existential_variables()
+        # Pre-compute the head positions of every relevant variable once per TGD.
+        head_positions_by_var: Dict = {}
+        for variable in frontier | existentials:
+            head_positions_by_var[variable] = positions_of(tgd.head, variable)
+        special_targets: Set[Position] = set()
+        for variable in existentials:
+            special_targets.update(head_positions_by_var[variable])
+        for variable in frontier:
+            body_positions = positions_of(tgd.body, variable)
+            normal_targets = head_positions_by_var[variable]
+            for source in body_positions:
+                for target in normal_targets:
+                    graph.add_edge(source, target, special=False)
+                for target in special_targets:
+                    graph.add_edge(source, target, special=True)
+    return graph

@@ -1,0 +1,55 @@
+"""Literature scenarios (Deep, LUBM, iBench) and the Table 1 registry."""
+
+from typing import Optional
+
+from ..exceptions import ExperimentConfigError
+from .base import (
+    PAPER_TABLE_1,
+    PAPER_TABLE_2_MS,
+    Scenario,
+    ScenarioStats,
+    paper_stats,
+    scenario_names,
+)
+from .deep import DEEP_RULE_COUNTS, build_deep
+from .ibench import IBENCH_MEMBERS, build_ibench
+from .lubm import LUBM_UNIVERSITIES, build_lubm, lubm_data, lubm_rules
+
+
+def build_scenario(name: str, scale: Optional[float] = None, seed: Optional[int] = None) -> Scenario:
+    """Build any Table 1 scenario by name with a sensible default scale.
+
+    Default scales keep every scenario laptop-sized: Deep members are built
+    in full (they are small), LUBM members keep their relative scale factors
+    but with a reduced per-university population, and iBench members are
+    built with 10% of the nominal tuples per source relation.
+    """
+    kwargs = {}
+    if seed is not None:
+        kwargs["seed"] = seed
+    if name in DEEP_RULE_COUNTS:
+        return build_deep(name, scale=1.0 if scale is None else scale, **kwargs)
+    if name in LUBM_UNIVERSITIES:
+        return build_lubm(name, scale=1.0 if scale is None else scale, **kwargs)
+    if name in IBENCH_MEMBERS:
+        return build_ibench(name, scale=0.1 if scale is None else scale, **kwargs)
+    raise ExperimentConfigError(f"unknown scenario {name!r}; known: {', '.join(scenario_names())}")
+
+
+__all__ = [
+    "DEEP_RULE_COUNTS",
+    "IBENCH_MEMBERS",
+    "LUBM_UNIVERSITIES",
+    "PAPER_TABLE_1",
+    "PAPER_TABLE_2_MS",
+    "Scenario",
+    "ScenarioStats",
+    "build_deep",
+    "build_ibench",
+    "build_lubm",
+    "build_scenario",
+    "lubm_data",
+    "lubm_rules",
+    "paper_stats",
+    "scenario_names",
+]

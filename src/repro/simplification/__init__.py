@@ -1,0 +1,67 @@
+"""Shapes, specializations, static and dynamic simplification of linear TGDs."""
+
+from .dynamic import (
+    DynamicSimplificationResult,
+    applicable,
+    dynamic_simplification,
+    head_shapes,
+    shape_from_simplified_predicate,
+)
+from .shapes import (
+    Shape,
+    count_shapes,
+    database_of_shapes,
+    identifier_tuple,
+    identifier_tuples_of_arity,
+    is_identifier_tuple,
+    shape_of_atom,
+    shapes_of_database,
+    shapes_of_predicate,
+    shapes_of_schema,
+    simplify_atom,
+    simplify_database,
+    simplify_instance,
+    unique_tuple,
+)
+from .specialization import (
+    Specialization,
+    enumerate_specializations,
+    h_specialization,
+    identity_specialization,
+)
+from .static import (
+    simplifications_of_tgd,
+    simplify_tgd_with,
+    static_simplification,
+    static_simplification_size,
+)
+
+__all__ = [
+    "DynamicSimplificationResult",
+    "Shape",
+    "Specialization",
+    "applicable",
+    "count_shapes",
+    "database_of_shapes",
+    "dynamic_simplification",
+    "enumerate_specializations",
+    "h_specialization",
+    "head_shapes",
+    "identifier_tuple",
+    "identifier_tuples_of_arity",
+    "identity_specialization",
+    "is_identifier_tuple",
+    "shape_from_simplified_predicate",
+    "shape_of_atom",
+    "shapes_of_database",
+    "shapes_of_predicate",
+    "shapes_of_schema",
+    "simplifications_of_tgd",
+    "simplify_atom",
+    "simplify_database",
+    "simplify_instance",
+    "simplify_tgd_with",
+    "static_simplification",
+    "static_simplification_size",
+    "unique_tuple",
+]

@@ -1,0 +1,166 @@
+"""Dynamic simplification (Section 4.2, Algorithm 2).
+
+Static simplification blows up exponentially with the arity, so the paper
+refines it: given the database ``D``, only the simplified TGDs whose body
+shape is *derivable* from the shapes of ``D`` (via the immediate-consequence
+operator ``Γ_Σ``) can ever fire during the chase of ``simple(D)`` with
+``simple(Σ)``; all the others are superfluous.  ``simple_D(Σ)`` keeps exactly
+the derivable ones and, crucially, checking its weak acyclicity no longer
+needs the database-support check (Lemma 4.5).
+
+The implementation mirrors Algorithm 2 and the engineering described in
+Section 5.4:
+
+* the database shapes are obtained through a pluggable ``shape_source`` —
+  either directly from a :class:`~repro.core.instances.Database`, or from the
+  storage substrate's in-memory / in-database ``FindShapes`` implementations;
+* an index from predicates to TGDs provides fast access to the rules that can
+  consume a newly derived shape;
+* at each iteration only the *new* shapes (``ΔS``) are processed — because the
+  TGDs are linear, a TGD applicable on an old shape was already applied in a
+  previous iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.instances import Database
+from ..core.predicates import Predicate
+from ..core.tgds import TGD, TGDSet
+from .shapes import Shape, shape_of_atom, shapes_of_database
+from .specialization import h_specialization
+from .static import simplify_tgd_with
+
+
+@dataclass
+class DynamicSimplificationResult:
+    """Output of :func:`dynamic_simplification` with bookkeeping for experiments.
+
+    Attributes
+    ----------
+    tgds:
+        The set ``simple_D(Σ)`` of simple-linear TGDs.
+    derived_shapes:
+        ``Σ(shape(D))`` — every shape derived during the fixpoint.
+    initial_shapes:
+        ``shape(D)`` — the shapes contributed by the database.
+    iterations:
+        Number of fixpoint iterations executed (Algorithm 2's while loop).
+    """
+
+    tgds: TGDSet
+    derived_shapes: Set[Shape]
+    initial_shapes: Set[Shape]
+    iterations: int
+
+
+def applicable(shapes: Iterable[Shape], tgds: TGDSet, index: Optional[Dict[Predicate, List[TGD]]] = None) -> TGDSet:
+    """``Applicable(Ŝ, Σ)``: simplified TGDs whose body shape belongs to *shapes*.
+
+    For every linear TGD ``σ`` with body predicate ``R`` and every shape of
+    ``R`` in *shapes*, there is at most one homomorphism from the body atom
+    to the canonical shape atom; when it exists, its ``h``-specialization
+    induces one simplification of ``σ``.
+    """
+    tgds.require_linear()
+    if index is None:
+        index = tgds.by_body_predicate()
+    by_name: Dict[str, List[TGD]] = {}
+    for predicate, rules in index.items():
+        by_name.setdefault(predicate.name, []).extend(rules)
+
+    result = TGDSet()
+    for shape in shapes:
+        for tgd in by_name.get(shape.predicate_name, ()):
+            body_atom = tgd.body_atom()
+            if body_atom.arity != shape.arity:
+                continue
+            specialization = h_specialization(body_atom, shape)
+            if specialization is None:
+                continue
+            result.add(simplify_tgd_with(tgd, specialization))
+    return result
+
+
+def head_shapes(tgds: Iterable[TGD]) -> Set[Shape]:
+    """Return the shapes occurring (as predicates) in the heads of simplified TGDs.
+
+    Simplified TGDs use shape predicates of the form ``R__1_2_1``; this
+    helper recovers the :class:`Shape` objects from the *original* atoms'
+    structure: since the head atoms of a simplified TGD are already
+    simplified (no repeated terms), the shape is re-read from the predicate
+    name suffix.
+    """
+    result: Set[Shape] = set()
+    for tgd in tgds:
+        for atom in tgd.head:
+            result.add(shape_from_simplified_predicate(atom.predicate))
+    return result
+
+
+def shape_from_simplified_predicate(predicate: Predicate) -> Shape:
+    """Invert :meth:`Shape.as_predicate`: recover the shape from ``R__1_2_1``."""
+    name, separator, suffix = predicate.name.rpartition("__")
+    if not separator:
+        raise ValueError(f"{predicate.name!r} is not a simplified (shape) predicate name")
+    identifiers = tuple(int(token) for token in suffix.split("_"))
+    return Shape(name, identifiers)
+
+
+def dynamic_simplification(
+    database_or_shapes,
+    tgds: TGDSet,
+) -> DynamicSimplificationResult:
+    """``DynSimplification(D, Σ)``: compute ``simple_D(Σ)`` (Algorithm 2).
+
+    Parameters
+    ----------
+    database_or_shapes:
+        Either a :class:`~repro.core.instances.Database` (its shapes are
+        computed directly), a set of :class:`Shape` (already computed, e.g.
+        by one of the storage substrate's ``FindShapes`` implementations), or
+        any object with a ``find_shapes()`` method.
+    tgds:
+        The set of linear TGDs ``Σ``.
+    """
+    tgds.require_linear()
+    initial_shapes = _coerce_shapes(database_or_shapes)
+    index = tgds.by_body_predicate() if len(tgds) else {}
+
+    known_shapes: Set[Shape] = set(initial_shapes)
+    simplified = TGDSet()
+    delta: Set[Shape] = set(initial_shapes)
+    iterations = 0
+
+    while delta:
+        iterations += 1
+        new_rules = applicable(delta, tgds, index=index)
+        newly_added = [rule for rule in new_rules if simplified.add(rule)]
+        produced = head_shapes(newly_added)
+        delta = produced - known_shapes
+        known_shapes |= delta
+
+    return DynamicSimplificationResult(
+        tgds=simplified,
+        derived_shapes=known_shapes,
+        initial_shapes=set(initial_shapes),
+        iterations=iterations,
+    )
+
+
+def _coerce_shapes(database_or_shapes) -> Set[Shape]:
+    """Normalise the shape source accepted by :func:`dynamic_simplification`."""
+    if isinstance(database_or_shapes, Database):
+        return shapes_of_database(database_or_shapes)
+    if hasattr(database_or_shapes, "find_shapes"):
+        return set(database_or_shapes.find_shapes())
+    shapes = set(database_or_shapes)
+    for shape in shapes:
+        if not isinstance(shape, Shape):
+            raise TypeError(
+                "dynamic_simplification expects a Database, a shape finder, "
+                f"or an iterable of Shape; got element {shape!r}"
+            )
+    return shapes

@@ -1,0 +1,210 @@
+"""Shapes of atoms and the shape algebra (Section 3, "simplification").
+
+For a tuple of terms ``t̄ = (t1, ..., tn)``:
+
+* ``unique(t̄)`` keeps only the first occurrence of each term;
+* ``id_{t̄}(ti)`` is the index (1-based) of ``ti`` inside ``unique(t̄)``;
+* ``id(t̄)`` is the tuple of identifiers, e.g. ``id((x, y, x, z, y)) =
+  (1, 2, 1, 3, 2)``.
+
+The *shape* of an atom ``R(t̄)`` is the predicate ``R_{id(t̄)}`` and its
+*simplification* is the atom ``R_{id(t̄)}(unique(t̄))``.  Shapes are the
+currency of the dynamic simplification algorithm: the database contributes
+its shapes, the TGDs derive new shapes, and only the simplified TGDs whose
+body shape is derivable are kept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from ..core.atoms import Atom
+from ..core.instances import Database, Instance
+from ..core.predicates import Predicate, Schema
+from ..core.terms import Constant, Term
+
+
+def unique_tuple(terms: Sequence) -> Tuple:
+    """Return ``unique(t̄)``: the subsequence of first occurrences."""
+    seen = set()
+    result = []
+    for term in terms:
+        if term not in seen:
+            seen.add(term)
+            result.append(term)
+    return tuple(result)
+
+
+def identifier_tuple(terms: Sequence) -> Tuple[int, ...]:
+    """Return ``id(t̄)``, e.g. ``id((x, y, x, z, y)) == (1, 2, 1, 3, 2)``."""
+    first_index: Dict = {}
+    result = []
+    for term in terms:
+        if term not in first_index:
+            first_index[term] = len(first_index) + 1
+        result.append(first_index[term])
+    return tuple(result)
+
+
+def is_identifier_tuple(ids: Sequence[int]) -> bool:
+    """Return ``True`` when *ids* is a well-formed identifier tuple.
+
+    A well-formed identifier tuple starts at 1 and never skips: the ``k``-th
+    *new* value to appear must be ``k`` (restricted growth string).
+    """
+    highest = 0
+    for value in ids:
+        if not isinstance(value, int) or value < 1:
+            return False
+        if value > highest + 1:
+            return False
+        highest = max(highest, value)
+    return bool(ids) and highest >= 1
+
+
+@dataclass(frozen=True, order=True)
+class Shape:
+    """The shape ``R_{id(t̄)}`` of an atom: a predicate name plus an identifier tuple."""
+
+    predicate_name: str
+    identifiers: Tuple[int, ...]
+
+    def __post_init__(self):
+        if not is_identifier_tuple(self.identifiers):
+            raise ValueError(f"{self.identifiers!r} is not a valid identifier tuple")
+
+    @property
+    def arity(self) -> int:
+        """Arity of the original predicate (length of the identifier tuple)."""
+        return len(self.identifiers)
+
+    @property
+    def distinct_terms(self) -> int:
+        """Number of distinct terms the shape describes (max identifier)."""
+        return max(self.identifiers)
+
+    def is_simple(self) -> bool:
+        """Return ``True`` for the identity shape ``(1, 2, ..., n)`` (no repetitions)."""
+        return self.identifiers == tuple(range(1, len(self.identifiers) + 1))
+
+    def as_predicate(self) -> Predicate:
+        """Return the shape as a fresh predicate ``R__1_2_1`` of reduced arity.
+
+        The reduced arity is the number of *distinct* identifiers, because the
+        simplification of an atom keeps only the first occurrence of each term.
+        """
+        suffix = "_".join(str(i) for i in self.identifiers)
+        return Predicate(f"{self.predicate_name}__{suffix}", self.distinct_terms)
+
+    def canonical_atom(self) -> Atom:
+        """Return the atom ``R(id(t̄))`` of ``DB[{shape}]`` with integer-named constants."""
+        base = Predicate(self.predicate_name, self.arity)
+        return Atom(base, tuple(Constant(str(i)) for i in self.identifiers))
+
+    def equal_position_pairs(self) -> Set[Tuple[int, int]]:
+        """Return the 1-based position pairs (i < j) forced equal by the shape."""
+        pairs = set()
+        for i in range(len(self.identifiers)):
+            for j in range(i + 1, len(self.identifiers)):
+                if self.identifiers[i] == self.identifiers[j]:
+                    pairs.add((i + 1, j + 1))
+        return pairs
+
+    def refines(self, other: "Shape") -> bool:
+        """Return ``True`` when this shape forces every equality that *other* forces.
+
+        Used by the Apriori-style pruning of the in-database ``FindShapes``:
+        if the relaxed (equality-only) query of *other* is empty, every shape
+        that refines it is empty as well.
+        """
+        if self.predicate_name != other.predicate_name or self.arity != other.arity:
+            return False
+        return self.equal_position_pairs() >= other.equal_position_pairs()
+
+    def __str__(self):
+        ids = ",".join(str(i) for i in self.identifiers)
+        return f"{self.predicate_name}[{ids}]"
+
+
+def shape_of_atom(atom: Atom) -> Shape:
+    """Return ``shape(α)`` for an atom ``α``."""
+    return Shape(atom.predicate.name, identifier_tuple(atom.terms))
+
+
+def simplify_atom(atom: Atom) -> Atom:
+    """Return ``simple(α)``: the atom ``R_{id(t̄)}(unique(t̄))``."""
+    shape = shape_of_atom(atom)
+    return Atom(shape.as_predicate(), unique_tuple(atom.terms))
+
+
+def simplify_instance(instance: Instance) -> Instance:
+    """Return ``simple(I)``: the instance with every atom simplified."""
+    result = type(instance)()
+    for atom in instance:
+        result.add(simplify_atom(atom))
+    return result
+
+
+def simplify_database(database: Database) -> Database:
+    """Return ``simple(D)`` as a database."""
+    result = Database()
+    for atom in database:
+        result.add(simplify_atom(atom))
+    return result
+
+
+def shapes_of_database(database: Instance) -> Set[Shape]:
+    """Return ``shape(D)``: the set of shapes of the atoms of *database*."""
+    return {shape_of_atom(atom) for atom in database}
+
+
+def identifier_tuples_of_arity(arity: int) -> Iterator[Tuple[int, ...]]:
+    """Enumerate every valid identifier tuple of length *arity*.
+
+    These are the restricted growth strings of length ``arity``; there are
+    Bell(``arity``) of them.
+    """
+    if arity < 1:
+        raise ValueError("arity must be >= 1")
+
+    def _extend(prefix: List[int], highest: int) -> Iterator[Tuple[int, ...]]:
+        if len(prefix) == arity:
+            yield tuple(prefix)
+            return
+        for value in range(1, highest + 2):
+            prefix.append(value)
+            yield from _extend(prefix, max(highest, value))
+            prefix.pop()
+
+    yield from _extend([], 0)
+
+
+def shapes_of_predicate(predicate: Predicate) -> Iterator[Shape]:
+    """Enumerate every shape of *predicate* (Bell(arity) many)."""
+    for identifiers in identifier_tuples_of_arity(predicate.arity):
+        yield Shape(predicate.name, identifiers)
+
+
+def shapes_of_schema(schema: Schema) -> Iterator[Shape]:
+    """Enumerate ``shape(S)`` for a schema ``S``."""
+    for predicate in schema:
+        yield from shapes_of_predicate(predicate)
+
+
+def database_of_shapes(shapes: Iterable[Shape]) -> Database:
+    """Return ``DB[S]``: the database induced by a set of shapes.
+
+    For example, ``DB[{R_(1,2), P_(1,1,2)}] = {R(1,2), P(1,1,2)}`` with the
+    integers read as constants.
+    """
+    database = Database()
+    for shape in shapes:
+        database.add(shape.canonical_atom())
+    return database
+
+
+def count_shapes(database: Instance) -> int:
+    """Return ``n-shapes`` for a database — one of the paper's reported statistics."""
+    return len(shapes_of_database(database))

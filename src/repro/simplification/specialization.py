@@ -1,0 +1,149 @@
+"""Specializations of variable tuples (Definition 3.5).
+
+A *specialization* of a tuple of variables ``x̄ = (x1, ..., xn)`` is a
+function ``f`` from ``x̄`` to ``x̄`` with ``f(x1) = x1`` and
+``f(xi) ∈ {f(x1), ..., f(x_{i-1}), xi}`` for every ``i >= 2``.  Intuitively a
+specialization decides, going left to right, whether each variable stays
+itself or collapses onto an earlier variable's image; specializations of a
+tuple of ``n`` distinct variables are in bijection with the set partitions
+of ``[n]`` (Bell(n) many).
+
+The *h-specialization* (Section 4.2) is the unique specialization induced by
+a homomorphism ``h`` from the body atom to a canonical shape atom: two
+variables collapse exactly when ``h`` sends them to the same value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.atoms import Atom
+from ..core.substitutions import match_atom
+from ..core.terms import Term, Variable
+from .shapes import Shape
+
+
+class Specialization:
+    """A specialization ``f`` of a variable tuple, applied as a substitution."""
+
+    __slots__ = ("_mapping", "_variables")
+
+    def __init__(self, variables: Sequence[Variable], mapping: Dict[Variable, Variable]):
+        self._variables = tuple(variables)
+        self._mapping = dict(mapping)
+        self._validate()
+
+    def _validate(self) -> None:
+        ordered = list(dict.fromkeys(self._variables))  # distinct, in first-occurrence order
+        if not ordered:
+            raise ValueError("a specialization needs at least one variable")
+        first = ordered[0]
+        if self._mapping.get(first, first) != first:
+            raise ValueError("a specialization must map the first variable to itself")
+        allowed_images = {first}
+        for variable in ordered[1:]:
+            image = self._mapping.get(variable, variable)
+            if image != variable and image not in allowed_images:
+                raise ValueError(
+                    f"invalid specialization: {variable} may only map to an earlier image "
+                    f"or to itself, got {image}"
+                )
+            allowed_images.add(image)
+
+    def __call__(self, variable: Variable) -> Variable:
+        return self._mapping.get(variable, variable)
+
+    def __eq__(self, other):
+        if not isinstance(other, Specialization):
+            return NotImplemented
+        return self._variables == other._variables and self.images() == other.images()
+
+    def __hash__(self):
+        return hash((self._variables, self.images()))
+
+    def __repr__(self):
+        pairs = ", ".join(f"{v}->{self(v)}" for v in dict.fromkeys(self._variables))
+        return f"Specialization({pairs})"
+
+    @property
+    def variables(self) -> Tuple[Variable, ...]:
+        """The original variable tuple ``x̄`` (with possible repetitions)."""
+        return self._variables
+
+    def images(self) -> Tuple[Variable, ...]:
+        """Return ``f(x̄)``: the image tuple, position by position."""
+        return tuple(self(v) for v in self._variables)
+
+    def is_identity(self) -> bool:
+        """Return ``True`` when every variable maps to itself."""
+        return all(self(v) == v for v in self._variables)
+
+    def apply_to_atom(self, atom: Atom) -> Atom:
+        """Apply the specialization to an atom (non-tuple variables stay put)."""
+        return Atom(atom.predicate, tuple(self(t) if isinstance(t, Variable) else t for t in atom.terms))
+
+    def apply_to_atoms(self, atoms: Sequence[Atom]) -> Tuple[Atom, ...]:
+        """Apply the specialization to a sequence of atoms."""
+        return tuple(self.apply_to_atom(atom) for atom in atoms)
+
+
+def identity_specialization(variables: Sequence[Variable]) -> Specialization:
+    """Return the identity specialization of *variables*."""
+    return Specialization(variables, {})
+
+
+def enumerate_specializations(variables: Sequence[Variable]) -> Iterator[Specialization]:
+    """Enumerate every specialization of a variable tuple.
+
+    The enumeration walks the distinct variables in first-occurrence order;
+    for each variable it either keeps it (a new block) or collapses it onto
+    one of the earlier images.  For ``n`` distinct variables this yields
+    Bell(``n``) specializations.
+    """
+    distinct = list(dict.fromkeys(variables))
+    if not distinct:
+        raise ValueError("cannot enumerate specializations of an empty tuple")
+
+    def _extend(index: int, mapping: Dict[Variable, Variable], images: List[Variable]):
+        if index == len(distinct):
+            yield Specialization(variables, dict(mapping))
+            return
+        variable = distinct[index]
+        # Option 1: keep the variable (opens a new block).
+        mapping[variable] = variable
+        images.append(variable)
+        yield from _extend(index + 1, mapping, images)
+        images.pop()
+        # Option 2: collapse onto one of the earlier images.
+        for image in list(dict.fromkeys(images)):
+            mapping[variable] = image
+            yield from _extend(index + 1, mapping, images)
+        del mapping[variable]
+
+    yield from _extend(0, {}, [])
+
+
+def h_specialization(body_atom: Atom, shape: Shape) -> Optional[Specialization]:
+    """Return the ``h``-specialization of the body variables w.r.t. *shape*.
+
+    ``h`` is the homomorphism from ``{R(x̄)}`` to ``{R(id(t̄))} ⊆ DB[{shape}]``,
+    when it exists; the induced specialization maps ``xi`` and ``xj`` to the
+    same (earliest) variable exactly when ``h(xi) = h(xj)``.  Returns ``None``
+    when no homomorphism exists (the body atom repeats a variable across
+    positions the shape declares distinct).
+    """
+    if shape.predicate_name != body_atom.predicate.name or shape.arity != body_atom.arity:
+        return None
+    target = shape.canonical_atom()
+    assignment = match_atom(body_atom, target, None)
+    if assignment is None:
+        return None
+    first_variable_for_image: Dict[Term, Variable] = {}
+    mapping: Dict[Variable, Variable] = {}
+    for term in body_atom.terms:
+        if not isinstance(term, Variable):  # pragma: no cover - TGD bodies are variable-only
+            continue
+        image = assignment[term]
+        representative = first_variable_for_image.setdefault(image, term)
+        mapping[term] = representative
+    return Specialization(body_atom.terms, mapping)

@@ -1,0 +1,59 @@
+"""Static simplification of linear TGDs (Definition 3.5).
+
+The simplification of a linear TGD ``σ : R(x̄) → ∃z̄ ψ(ȳ, z̄)`` induced by a
+specialization ``f`` of ``x̄`` is the simple-linear TGD
+
+    ``simple(R(f(x̄))) → ∃z̄ simple(ψ(f(ȳ), z̄))``.
+
+``simple(Σ)`` collects the simplifications of every TGD of ``Σ`` under every
+specialization of its body variables.  Its size is exponential in the
+maximum arity (Bell numbers), which is exactly why the paper introduces
+*dynamic* simplification; the static version is still implemented in full
+because (a) it defines the semantics the dynamic version must preserve and
+(b) the ablation experiments compare the two.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from ..core.atoms import Atom
+from ..core.tgds import TGD, TGDSet
+from .shapes import simplify_atom
+from .specialization import Specialization, enumerate_specializations
+
+
+def simplify_tgd_with(tgd: TGD, specialization: Specialization) -> TGD:
+    """Return the simplification of a linear TGD induced by *specialization*."""
+    body_atom = tgd.body_atom()
+    specialized_body = specialization.apply_to_atom(body_atom)
+    specialized_head = specialization.apply_to_atoms(tgd.head)
+    simple_body = simplify_atom(specialized_body)
+    simple_head = tuple(simplify_atom(atom) for atom in specialized_head)
+    return TGD((simple_body,), simple_head, label=tgd.label)
+
+
+def simplifications_of_tgd(tgd: TGD) -> Iterator[TGD]:
+    """Enumerate ``simple(σ)``: one simplification per specialization of the body tuple."""
+    body_atom = tgd.body_atom()
+    for specialization in enumerate_specializations(body_atom.terms):
+        yield simplify_tgd_with(tgd, specialization)
+
+
+def static_simplification(tgds: TGDSet) -> TGDSet:
+    """Return ``simple(Σ)`` for a set of linear TGDs.
+
+    Warning: the result is exponential in the maximum arity; use
+    :func:`repro.simplification.dynamic.dynamic_simplification` for anything
+    beyond small schemas, as the paper does.
+    """
+    tgds.require_linear()
+    result = TGDSet()
+    for tgd in tgds:
+        result.update(simplifications_of_tgd(tgd))
+    return result
+
+
+def static_simplification_size(tgds: TGDSet) -> int:
+    """Return ``|simple(Σ)|`` exactly (constructs the set; intended for ablations)."""
+    return len(static_simplification(tgds))

@@ -1,0 +1,33 @@
+"""Relational storage substrate: relations, catalog, prefix views, shape queries."""
+
+from .database import RelationalDatabase
+from .queries import (
+    disequality_condition_pairs,
+    equality_condition_pairs,
+    row_matches_shape,
+    shape_exists,
+    shape_query_sql,
+)
+from .relation import Relation
+from .shape_finder import (
+    InDatabaseShapeFinder,
+    InMemoryShapeFinder,
+    ShapeFinderStats,
+    find_shapes,
+)
+from .views import PrefixView
+
+__all__ = [
+    "InDatabaseShapeFinder",
+    "InMemoryShapeFinder",
+    "PrefixView",
+    "Relation",
+    "RelationalDatabase",
+    "ShapeFinderStats",
+    "disequality_condition_pairs",
+    "equality_condition_pairs",
+    "find_shapes",
+    "row_matches_shape",
+    "shape_exists",
+    "shape_query_sql",
+]

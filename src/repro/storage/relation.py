@@ -1,0 +1,112 @@
+"""Relations: named, fixed-arity tuple stores.
+
+The paper keeps its databases in PostgreSQL; this module is the storage
+substrate that stands in for it (see DESIGN.md).  A :class:`Relation` stores
+tuples of constants for one predicate, preserves insertion order (the paper's
+``D*`` views rely on "the first k tuples per predicate"), and offers the
+primitive scans the two ``FindShapes`` implementations need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.atoms import Atom
+from ..core.predicates import Predicate
+from ..core.terms import Constant
+from ..exceptions import StorageError
+
+Row = Tuple[str, ...]
+
+
+class Relation:
+    """An append-only relation with string-valued attributes.
+
+    Tuples are stored as tuples of strings (constant names); the conversion
+    to and from :class:`~repro.core.atoms.Atom` happens at the edges, so scan
+    loops never pay per-row object construction costs.
+    """
+
+    def __init__(self, predicate: Predicate):
+        self.predicate = predicate
+        self._rows: List[Row] = []
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+
+    def insert(self, row: Sequence) -> None:
+        """Append a tuple (values are stringified)."""
+        values = tuple(str(value) for value in row)
+        if len(values) != self.predicate.arity:
+            raise StorageError(
+                f"relation {self.predicate} expects {self.predicate.arity} values, "
+                f"got {len(values)}"
+            )
+        self._rows.append(values)
+
+    def insert_many(self, rows: Iterable[Sequence]) -> int:
+        """Append every tuple of *rows*; return how many were inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def insert_atom(self, atom: Atom) -> None:
+        """Append the tuple of an atom's constant arguments."""
+        if atom.predicate != self.predicate:
+            raise StorageError(
+                f"atom {atom!r} does not belong to relation {self.predicate}"
+            )
+        self.insert(tuple(term.name for term in atom.terms))
+
+    # ------------------------------------------------------------------ #
+    # Scans
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __repr__(self):
+        return f"Relation({self.predicate}, {len(self)} rows)"
+
+    @property
+    def name(self) -> str:
+        """The relation (predicate) name."""
+        return self.predicate.name
+
+    @property
+    def arity(self) -> int:
+        """The relation arity."""
+        return self.predicate.arity
+
+    def rows(self, limit: Optional[int] = None) -> Iterator[Row]:
+        """Scan the rows in insertion order, optionally stopping after *limit*."""
+        if limit is None:
+            yield from self._rows
+        else:
+            yield from self._rows[:limit]
+
+    def chunks(self, chunk_size: int, limit: Optional[int] = None) -> Iterator[List[Row]]:
+        """Scan the rows in chunks of *chunk_size* (the in-memory ``FindShapes`` splitter)."""
+        if chunk_size <= 0:
+            raise StorageError("chunk_size must be positive")
+        buffer: List[Row] = []
+        for row in self.rows(limit=limit):
+            buffer.append(row)
+            if len(buffer) == chunk_size:
+                yield buffer
+                buffer = []
+        if buffer:
+            yield buffer
+
+    def atoms(self, limit: Optional[int] = None) -> Iterator[Atom]:
+        """Scan the rows as atoms (constants named after the stored strings)."""
+        for row in self.rows(limit=limit):
+            yield Atom(self.predicate, tuple(Constant(value) for value in row))
+
+    def is_empty(self) -> bool:
+        """Return ``True`` when the relation has no tuples."""
+        return not self._rows

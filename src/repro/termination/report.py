@@ -1,0 +1,146 @@
+"""Timing breakdowns and termination reports.
+
+The paper analyses its algorithms through a small, fixed vocabulary of time
+parameters:
+
+* ``t-parse``  — time to parse the TGDs from an input file;
+* ``t-shapes`` — time to find the database shapes (linear TGDs only);
+* ``t-graph``  — time to build the dependency graph (for linear TGDs this
+  includes the dynamic simplification that feeds it);
+* ``t-comp``   — time to find the special SCCs;
+* ``t-total``  — the relevant sum (see Sections 7 and 8 for which parameters
+  participate for SL and L).
+
+:class:`TimingBreakdown` carries those parameters (in seconds) and the
+report classes attach them to the boolean answer.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class Stopwatch:
+    """A tiny named-phase stopwatch used by the checkers and the harness."""
+
+    def __init__(self):
+        self._durations: Dict[str, float] = {}
+
+    @contextmanager
+    def measure(self, phase: str):
+        """Context manager accumulating wall-clock time into *phase*."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._durations[phase] = self._durations.get(phase, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def record(self, phase: str, seconds: float) -> None:
+        """Explicitly accumulate *seconds* into *phase*."""
+        self._durations[phase] = self._durations.get(phase, 0.0) + seconds
+
+    def get(self, phase: str) -> float:
+        """Return the accumulated seconds for *phase* (0.0 when never measured)."""
+        return self._durations.get(phase, 0.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return a copy of all measured phases."""
+        return dict(self._durations)
+
+
+@dataclass
+class TimingBreakdown:
+    """The paper's time parameters, in seconds."""
+
+    t_parse: float = 0.0
+    t_shapes: float = 0.0
+    t_graph: float = 0.0
+    t_comp: float = 0.0
+
+    @property
+    def t_total(self) -> float:
+        """End-to-end time: the sum of every recorded parameter."""
+        return self.t_parse + self.t_shapes + self.t_graph + self.t_comp
+
+    @property
+    def db_independent(self) -> float:
+        """The db-independent component of ``IsChaseFinite[L]`` (Section 8)."""
+        return self.t_parse + self.t_graph + self.t_comp
+
+    @property
+    def db_dependent(self) -> float:
+        """The db-dependent component of ``IsChaseFinite[L]`` (Section 8)."""
+        return self.t_shapes
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return all parameters plus the derived totals."""
+        return {
+            "t_parse": self.t_parse,
+            "t_shapes": self.t_shapes,
+            "t_graph": self.t_graph,
+            "t_comp": self.t_comp,
+            "t_total": self.t_total,
+            "db_independent": self.db_independent,
+            "db_dependent": self.db_dependent,
+        }
+
+    @classmethod
+    def from_stopwatch(cls, stopwatch: Stopwatch) -> "TimingBreakdown":
+        """Build a breakdown from a stopwatch with phases named after the parameters."""
+        return cls(
+            t_parse=stopwatch.get("t_parse"),
+            t_shapes=stopwatch.get("t_shapes"),
+            t_graph=stopwatch.get("t_graph"),
+            t_comp=stopwatch.get("t_comp"),
+        )
+
+
+@dataclass
+class TerminationReport:
+    """The answer of a termination check plus diagnostics.
+
+    Attributes
+    ----------
+    finite:
+        ``True`` when the semi-oblivious chase is guaranteed finite.
+    algorithm:
+        Which checker produced the answer (``"IsChaseFinite[SL]"``,
+        ``"IsChaseFinite[L]"``, ``"weak-acyclicity"``, ``"materialization"``).
+    timings:
+        The per-phase timing breakdown.
+    statistics:
+        Free-form integer statistics (graph sizes, shape counts, ...).
+    """
+
+    finite: bool
+    algorithm: str
+    timings: TimingBreakdown = field(default_factory=TimingBreakdown)
+    statistics: Dict[str, int] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.finite
+
+
+@dataclass
+class MaterializationReport:
+    """Outcome of the materialization-based baseline checker.
+
+    Unlike the acyclicity-based checkers, this baseline may be inconclusive:
+    when the configured budget is smaller than the theoretical bound
+    ``k_{D,Σ}``, exceeding the budget proves nothing.
+    """
+
+    finite: Optional[bool]
+    conclusive: bool
+    atoms_materialized: int
+    bound: int
+    bound_saturated: bool
+    elapsed_seconds: float
+
+    def __bool__(self) -> bool:
+        return bool(self.finite)

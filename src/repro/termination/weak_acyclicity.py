@@ -1,0 +1,51 @@
+"""Weak acyclicity and non-uniform (database-dependent) weak acyclicity.
+
+Weak acyclicity (Fagin et al.) asks for *no* cycle through a special edge in
+the dependency graph; it guarantees chase termination for **every** database.
+Non-uniform weak acyclicity (Definition 3.2) only forbids cycles that are
+*supported* by the given database, and is exactly the right notion for
+simple-linear TGDs (Theorem 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.instances import Database
+from ..core.tgds import TGDSet
+from ..graph.dependency_graph import DependencyGraph, build_dependency_graph
+from ..graph.reachability import supports
+from ..graph.tarjan import find_special_sccs
+
+
+def is_weakly_acyclic(tgds: TGDSet, graph: Optional[DependencyGraph] = None) -> bool:
+    """Return ``True`` when ``dg(Σ)`` has no cycle through a special edge.
+
+    This is the *uniform* notion: it does not look at any database, and is a
+    sufficient condition for chase termination for arbitrary TGDs.
+    """
+    if graph is None:
+        graph = build_dependency_graph(tgds)
+    return not find_special_sccs(graph)
+
+
+def is_weakly_acyclic_wrt(
+    tgds: TGDSet,
+    database: Database,
+    graph: Optional[DependencyGraph] = None,
+) -> bool:
+    """Return ``True`` when ``Σ`` is weakly acyclic w.r.t. ``D`` (Definition 3.2).
+
+    ``Σ`` is ``D``-weakly-acyclic when no *D-supported* cycle of ``dg(Σ)``
+    goes through a special edge.  Every bad cycle lives inside some special
+    SCC, and within an SCC support of one node implies support of the whole
+    cycle, so it suffices to check one representative node per special SCC
+    (Algorithm 1).
+    """
+    if graph is None:
+        graph = build_dependency_graph(tgds)
+    special_sccs = find_special_sccs(graph)
+    if not special_sccs:
+        return True
+    representatives = [scc.representative() for scc in special_sccs]
+    return not supports(database, representatives, graph)

@@ -1,0 +1,84 @@
+"""Unit tests for repro.chase.triggers."""
+
+from repro.chase.triggers import Trigger, trigger_count, triggers_on
+from repro.core.instances import Instance
+from repro.core.parser import parse_database, parse_rules
+from repro.core.terms import Constant, NullFactory, Variable
+
+
+def _single_trigger(rules_text, facts_text):
+    rules = parse_rules(rules_text)
+    instance = Instance(parse_database(facts_text).atoms())
+    triggers = list(triggers_on(tuple(rules), instance))
+    assert len(triggers) == 1
+    return triggers[0]
+
+
+class TestTriggerEnumeration:
+    def test_counts_one_per_homomorphism(self):
+        rules = parse_rules("R(x,y) -> S(y,z)")
+        instance = Instance(parse_database("R(a,b).\nR(b,c).").atoms())
+        assert trigger_count(rules, instance) == 2
+
+    def test_repeated_body_variable_restricts_matches(self):
+        rules = parse_rules("R(x,x) -> S(x,z)")
+        instance = Instance(parse_database("R(a,a).\nR(a,b).").atoms())
+        assert trigger_count(rules, instance) == 1
+
+    def test_restrict_to_atoms_filters(self):
+        rules = parse_rules("R(x,y) -> S(y,z)")
+        database = parse_database("R(a,b).\nR(b,c).")
+        instance = Instance(database.atoms())
+        new_atom = next(iter(parse_database("R(b,c).")))
+        restricted = list(triggers_on(tuple(rules), instance, restrict_to_atoms={new_atom}))
+        assert len(restricted) == 1
+        assert restricted[0].homomorphism[Variable("x")] == Constant("b")
+
+    def test_multi_body_restriction_keeps_joins_touching_new_atoms(self):
+        rules = parse_rules("R(x,y), S(y,w) -> T(x,w)")
+        instance = Instance(parse_database("R(a,b).\nS(b,c).").atoms())
+        new_atom = next(iter(parse_database("S(b,c).")))
+        restricted = list(triggers_on(tuple(rules), instance, restrict_to_atoms={new_atom}))
+        assert len(restricted) == 1
+
+
+class TestTriggerResults:
+    def test_frontier_variables_are_copied(self):
+        trigger = _single_trigger("R(x,y) -> S(y,z)", "R(a,b).")
+        atoms = trigger.result(NullFactory())
+        assert len(atoms) == 1
+        assert atoms[0].terms[0] == Constant("b")
+        assert atoms[0].terms[1].name  # a null
+
+    def test_null_is_deterministic_per_trigger_and_variable(self):
+        trigger = _single_trigger("R(x,y) -> S(y,z), T(z)", "R(a,b).")
+        factory = NullFactory()
+        first = trigger.result(factory)
+        second = trigger.result(factory)
+        assert first == second
+        # The same existential variable z is mapped to the same null in both head atoms.
+        assert first[0].terms[1] == first[1].terms[0]
+
+    def test_semi_oblivious_key_ignores_non_frontier_variables(self):
+        rules = parse_rules("R(x,y) -> S(y,z)")
+        instance = Instance(parse_database("R(a,b).\nR(c,b).").atoms())
+        triggers = list(triggers_on(tuple(rules), instance))
+        keys = {trigger.semi_oblivious_key() for trigger in triggers}
+        assert len(triggers) == 2
+        assert len(keys) == 1  # same frontier witness y=b
+
+    def test_oblivious_key_distinguishes_full_homomorphisms(self):
+        rules = parse_rules("R(x,y) -> S(y,z)")
+        instance = Instance(parse_database("R(a,b).\nR(c,b).").atoms())
+        triggers = list(triggers_on(tuple(rules), instance))
+        keys = {trigger.oblivious_key() for trigger in triggers}
+        assert len(keys) == 2
+
+    def test_different_tgd_indices_key_different_nulls(self):
+        rules = parse_rules("R(x,y) -> S(y,z)\nT(x,y) -> S(y,z)")
+        instance = Instance(parse_database("R(a,b).\nT(a,b).").atoms())
+        factory = NullFactory()
+        atoms = set()
+        for trigger in triggers_on(tuple(rules), instance):
+            atoms.update(trigger.result(factory))
+        assert len(atoms) == 2  # two distinct nulls, one per TGD

@@ -1,0 +1,90 @@
+"""Unit tests for repro.core.atoms."""
+
+import pytest
+
+from repro.core.atoms import Atom, positions_of, schema_of, variables_of
+from repro.core.predicates import Position, Predicate
+from repro.core.terms import Constant, Null, Variable
+from repro.exceptions import ValidationError
+
+R = Predicate("R", 2)
+S = Predicate("S", 3)
+a, b = Constant("a"), Constant("b")
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+n1 = Null("n1")
+
+
+class TestAtomConstruction:
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            Atom(R, (a,))
+
+    def test_non_term_argument_rejected(self):
+        with pytest.raises(ValidationError):
+            Atom(R, (a, "b"))
+
+    def test_of_constructor(self):
+        atom = Atom.of("R", a, b)
+        assert atom.predicate == R
+        assert atom.terms == (a, b)
+
+    def test_immutability(self):
+        atom = Atom(R, (a, b))
+        with pytest.raises(AttributeError):
+            atom.terms = (b, a)
+
+    def test_equality_and_hash(self):
+        assert Atom(R, (a, b)) == Atom(R, (a, b))
+        assert Atom(R, (a, b)) != Atom(R, (b, a))
+        assert len({Atom(R, (a, b)), Atom(R, (a, b))}) == 1
+
+    def test_repr(self):
+        assert repr(Atom(R, (a, x))) == "R(a, ?x)"
+
+
+class TestAtomQueries:
+    def test_variables_constants_nulls(self):
+        atom = Atom(S, (a, x, n1))
+        assert atom.variables() == {x}
+        assert atom.constants() == {a}
+        assert atom.nulls() == {n1}
+        assert atom.domain() == {a, n1}
+
+    def test_is_fact(self):
+        assert Atom(R, (a, b)).is_fact()
+        assert not Atom(R, (a, n1)).is_fact()
+        assert not Atom(R, (a, x)).is_fact()
+
+    def test_is_ground(self):
+        assert Atom(R, (a, n1)).is_ground()
+        assert not Atom(R, (a, x)).is_ground()
+
+    def test_positions_of(self):
+        atom = Atom(S, (x, y, x))
+        assert atom.positions_of(x) == (Position(S, 1), Position(S, 3))
+        assert atom.positions_of(z) == ()
+
+    def test_substitute(self):
+        atom = Atom(R, (x, y))
+        assert atom.substitute({x: a}) == Atom(R, (a, y))
+
+    def test_has_repeated_terms(self):
+        assert Atom(R, (x, x)).has_repeated_terms()
+        assert not Atom(R, (x, y)).has_repeated_terms()
+
+    def test_arity_property(self):
+        assert Atom(S, (x, y, z)).arity == 3
+
+
+class TestAtomSetHelpers:
+    def test_variables_of(self):
+        atoms = [Atom(R, (x, y)), Atom(R, (y, z))]
+        assert variables_of(atoms) == {x, y, z}
+
+    def test_positions_of_set(self):
+        atoms = [Atom(R, (x, y)), Atom(S, (x, x, z))]
+        assert positions_of(atoms, x) == {Position(R, 1), Position(S, 1), Position(S, 2)}
+
+    def test_schema_of(self):
+        atoms = [Atom(R, (a, b)), Atom(S, (a, a, b))]
+        assert schema_of(atoms) == {R, S}

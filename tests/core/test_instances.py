@@ -1,0 +1,98 @@
+"""Unit tests for repro.core.instances."""
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.instances import Database, Instance, induced_database
+from repro.core.parser import parse_database, parse_rules
+from repro.core.predicates import Predicate
+from repro.core.terms import Constant, Null, Variable
+from repro.exceptions import ValidationError
+
+R = Predicate("R", 2)
+S = Predicate("S", 1)
+a, b = Constant("a"), Constant("b")
+n = Null("n")
+
+
+class TestInstance:
+    def test_add_and_contains(self):
+        instance = Instance()
+        assert instance.add(Atom(R, (a, b)))
+        assert not instance.add(Atom(R, (a, b)))
+        assert Atom(R, (a, b)) in instance
+        assert len(instance) == 1
+
+    def test_nulls_allowed(self):
+        instance = Instance()
+        instance.add(Atom(R, (a, n)))
+        assert instance.nulls() == {n}
+
+    def test_variables_rejected(self):
+        with pytest.raises(ValidationError):
+            Instance().add(Atom(R, (a, Variable("x"))))
+
+    def test_atoms_with_predicate(self):
+        instance = Instance([Atom(R, (a, b)), Atom(S, (a,))])
+        assert instance.atoms_with_predicate(R) == {Atom(R, (a, b))}
+        assert instance.atoms_with_predicate(Predicate("T", 1)) == frozenset()
+
+    def test_predicates_and_schema(self):
+        instance = Instance([Atom(R, (a, b)), Atom(S, (a,))])
+        assert instance.predicates() == {R, S}
+        assert len(instance.schema()) == 2
+
+    def test_domain(self):
+        instance = Instance([Atom(R, (a, n))])
+        assert instance.domain() == {a, n}
+        assert instance.constants() == {a}
+
+    def test_copy_is_independent(self):
+        instance = Instance([Atom(R, (a, b))])
+        clone = instance.copy()
+        clone.add(Atom(S, (a,)))
+        assert len(instance) == 1
+        assert len(clone) == 2
+
+    def test_iteration_is_deterministic(self):
+        instance = Instance([Atom(S, (b,)), Atom(S, (a,)), Atom(R, (a, b))])
+        assert list(instance) == list(instance)
+
+    def test_equality(self):
+        assert Instance([Atom(R, (a, b))]) == Instance([Atom(R, (a, b))])
+        assert Instance([Atom(R, (a, b))]) != Instance([Atom(R, (b, a))])
+
+
+class TestDatabase:
+    def test_rejects_nulls(self):
+        with pytest.raises(ValidationError):
+            Database().add(Atom(R, (a, n)))
+
+    def test_to_instance(self):
+        database = parse_database("R(a,b).")
+        instance = database.to_instance()
+        assert isinstance(instance, Instance)
+        instance.add(Atom(R, (a, n)))  # the copy accepts nulls
+        assert len(database) == 1
+
+
+class TestInducedDatabase:
+    def test_one_atom_per_predicate(self):
+        rules = parse_rules("R(x,y) -> S(y,z)\nS(x,y) -> T(x)")
+        database = induced_database(rules)
+        assert len(database) == 3
+        assert set(database.predicates()) == set(rules.schema().predicates)
+
+    def test_constants_are_distinct_within_an_atom(self):
+        rules = parse_rules("R(x,y) -> S(y,z)")
+        database = induced_database(rules)
+        for atom in database:
+            assert len(set(atom.terms)) == atom.arity
+
+    def test_accepts_schema_and_predicate_iterables(self):
+        from repro.core.predicates import Schema
+
+        database = induced_database(Schema([R, S]))
+        assert len(database) == 2
+        database2 = induced_database([R])
+        assert len(database2) == 1

@@ -1,0 +1,129 @@
+"""Unit tests for repro.core.parser."""
+
+import pytest
+
+from repro.core.parser import (
+    parse_atom,
+    parse_database,
+    parse_fact,
+    parse_rules,
+    parse_tgd,
+)
+from repro.core.predicates import Schema
+from repro.core.terms import Constant, Variable
+from repro.exceptions import ParseError
+
+
+class TestParseAtom:
+    def test_rule_context_identifiers_are_variables(self):
+        atom = parse_atom("R(x, y)", as_variable=True)
+        assert atom.variables() == {Variable("x"), Variable("y")}
+
+    def test_fact_context_identifiers_are_constants(self):
+        atom = parse_atom("R(a, b)", as_variable=False)
+        assert atom.constants() == {Constant("a"), Constant("b")}
+
+    def test_quoted_constants(self):
+        atom = parse_atom('R("hello world", b)', as_variable=False)
+        assert Constant("hello world") in atom.constants()
+
+    def test_question_mark_forces_variable(self):
+        atom = parse_atom("R(?x, a)", as_variable=False)
+        assert Variable("x") in atom.variables()
+
+    def test_nullary_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("R()")
+
+    def test_malformed(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(x, y")
+        with pytest.raises(ParseError):
+            parse_atom("(x, y)")
+        with pytest.raises(ParseError):
+            parse_atom("Rxy")
+
+
+class TestParseTGD:
+    def test_basic(self):
+        tgd = parse_tgd("R(x,y) -> S(y,z)")
+        assert tgd.is_simple_linear()
+        assert tgd.frontier() == {Variable("y")}
+
+    def test_multi_atom_body_and_head(self):
+        tgd = parse_tgd("R(x,y), S(y,w) -> T(x,z), U(z,w)")
+        assert len(tgd.body) == 2
+        assert len(tgd.head) == 2
+
+    def test_datalog_arrow_swaps_sides(self):
+        tgd = parse_tgd("S(y,z) :- R(x,y)")
+        assert tgd.body[0].predicate.name == "R"
+        assert tgd.head[0].predicate.name == "S"
+
+    def test_double_arrow(self):
+        tgd = parse_tgd("R(x,y) => S(y,z)")
+        assert tgd.head[0].predicate.name == "S"
+
+    def test_missing_arrow(self):
+        with pytest.raises(ParseError):
+            parse_tgd("R(x,y), S(y,z)")
+
+    def test_comment_stripped(self):
+        tgd = parse_tgd("R(x,y) -> S(y,z)  % a comment")
+        assert tgd.head[0].predicate.name == "S"
+
+
+class TestParseFact:
+    def test_trailing_dot_optional(self):
+        assert parse_fact("R(a,b).") == parse_fact("R(a,b)")
+
+    def test_variables_rejected(self):
+        with pytest.raises(ParseError):
+            parse_fact("R(?x, a).")
+
+
+class TestParsePrograms:
+    def test_parse_rules_skips_comments_and_blank_lines(self):
+        rules = parse_rules(
+            """
+            % header comment
+            R(x,y) -> S(y,z)
+
+            # another comment
+            S(x,y) -> T(x)
+            """
+        )
+        assert len(rules) == 2
+
+    def test_parse_rules_reports_line_numbers(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_rules("R(x,y) -> S(y,z)\nbroken line\n")
+        assert excinfo.value.line_number == 2
+
+    def test_parse_database(self):
+        database = parse_database("R(a,b).\nS(c).\n")
+        assert len(database) == 2
+
+    def test_parse_database_arity_conflict_detected(self):
+        with pytest.raises(Exception):
+            parse_database("R(a,b).\nR(a).\n")
+
+    def test_shared_schema_canonicalizes_predicates(self):
+        schema = Schema()
+        rules = parse_rules("R(x,y) -> S(y,z)", schema=schema)
+        database = parse_database("R(a,b).", schema=schema)
+        assert next(iter(database)).predicate in rules.schema()
+
+    def test_load_from_files(self, tmp_path):
+        from repro.core.parser import load_database, load_rules
+
+        rule_path = tmp_path / "rules.txt"
+        rule_path.write_text("R(x,y) -> S(y,z)\n")
+        fact_path = tmp_path / "facts.txt"
+        fact_path.write_text("R(a,b).\n")
+        assert len(load_rules(rule_path)) == 1
+        assert len(load_database(fact_path)) == 1
+
+    def test_duplicate_rules_are_collapsed(self):
+        rules = parse_rules("R(x,y) -> S(y,z)\nR(x,y) -> S(y,z)")
+        assert len(rules) == 1

@@ -1,0 +1,106 @@
+"""Unit tests for repro.core.substitutions."""
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.instances import Instance
+from repro.core.predicates import Predicate
+from repro.core.substitutions import (
+    Substitution,
+    has_homomorphism,
+    homomorphisms,
+    is_homomorphism,
+    match_atom,
+)
+from repro.core.terms import Constant, Variable
+
+R = Predicate("R", 2)
+S = Predicate("S", 2)
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestSubstitution:
+    def test_constants_map_to_themselves(self):
+        substitution = Substitution({x: a})
+        assert substitution[b] == b
+        assert substitution.get(b) == b
+
+    def test_non_identity_on_constants_rejected(self):
+        with pytest.raises(ValueError):
+            Substitution({a: b})
+
+    def test_restrict(self):
+        substitution = Substitution({x: a, y: b})
+        restricted = substitution.restrict([x])
+        assert x in restricted
+        assert restricted.get(y) is None
+
+    def test_extend_conflict_rejected(self):
+        substitution = Substitution({x: a})
+        with pytest.raises(ValueError):
+            substitution.extend({x: b})
+
+    def test_extend_merges(self):
+        substitution = Substitution({x: a}).extend({y: b})
+        assert substitution[y] == b
+
+    def test_apply(self):
+        substitution = Substitution({x: a, y: b})
+        assert substitution.apply(Atom(R, (x, y))) == Atom(R, (a, b))
+
+    def test_apply_keeps_unmapped_variables(self):
+        substitution = Substitution({x: a})
+        assert substitution.apply(Atom(R, (x, z))) == Atom(R, (a, z))
+
+    def test_equality_and_hash(self):
+        assert Substitution({x: a}) == Substitution({x: a})
+        assert len({Substitution({x: a}), Substitution({x: a})}) == 1
+
+
+class TestMatchAtom:
+    def test_basic_match(self):
+        assert match_atom(Atom(R, (x, y)), Atom(R, (a, b))) == {x: a, y: b}
+
+    def test_predicate_mismatch(self):
+        assert match_atom(Atom(R, (x, y)), Atom(S, (a, b))) is None
+
+    def test_repeated_variable_requires_equal_values(self):
+        assert match_atom(Atom(R, (x, x)), Atom(R, (a, a))) == {x: a}
+        assert match_atom(Atom(R, (x, x)), Atom(R, (a, b))) is None
+
+    def test_base_is_respected(self):
+        assert match_atom(Atom(R, (x, y)), Atom(R, (a, b)), {x: b}) is None
+        assert match_atom(Atom(R, (x, y)), Atom(R, (a, b)), {x: a}) == {x: a, y: b}
+
+
+class TestHomomorphisms:
+    def setup_method(self):
+        self.instance = Instance(
+            [Atom(R, (a, b)), Atom(R, (b, c)), Atom(S, (b, b))]
+        )
+
+    def test_single_atom(self):
+        results = list(homomorphisms([Atom(R, (x, y))], self.instance))
+        assert len(results) == 2
+
+    def test_join_across_atoms(self):
+        results = list(homomorphisms([Atom(R, (x, y)), Atom(R, (y, z))], self.instance))
+        assert len(results) == 1
+        assert results[0][x] == a and results[0][z] == c
+
+    def test_no_match(self):
+        assert not has_homomorphism([Atom(S, (x, y)), Atom(R, (y, x))], self.instance)
+
+    def test_has_homomorphism_with_base(self):
+        assert has_homomorphism([Atom(R, (x, y))], self.instance, base={x: b})
+        assert not has_homomorphism([Atom(R, (x, y))], self.instance, base={x: c})
+
+    def test_repeated_variables_in_pattern(self):
+        results = list(homomorphisms([Atom(S, (x, x))], self.instance))
+        assert len(results) == 1
+
+    def test_is_homomorphism(self):
+        substitution = Substitution({x: a, y: b})
+        assert is_homomorphism(substitution, [Atom(R, (x, y))], self.instance)
+        assert not is_homomorphism(Substitution({x: b, y: a}), [Atom(R, (x, y))], self.instance)

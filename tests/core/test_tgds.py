@@ -1,0 +1,133 @@
+"""Unit tests for repro.core.tgds."""
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.parser import parse_rules, parse_tgd
+from repro.core.predicates import Predicate
+from repro.core.terms import Constant, Variable
+from repro.core.tgds import TGD, TGDSet
+from repro.exceptions import NotLinearError, NotSimpleLinearError, ValidationError
+
+R = Predicate("R", 2)
+S = Predicate("S", 2)
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestTGDConstruction:
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValidationError):
+            TGD((), (Atom(R, (x, y)),))
+
+    def test_empty_head_rejected(self):
+        with pytest.raises(ValidationError):
+            TGD((Atom(R, (x, y)),), ())
+
+    def test_constants_rejected(self):
+        with pytest.raises(ValidationError):
+            TGD((Atom(R, (x, Constant("a"))),), (Atom(S, (x, x)),))
+
+    def test_equality_ignores_label(self):
+        first = TGD((Atom(R, (x, y)),), (Atom(S, (y, z)),), label="a")
+        second = TGD((Atom(R, (x, y)),), (Atom(S, (y, z)),), label="b")
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_immutability(self):
+        tgd = parse_tgd("R(x,y) -> S(y,z)")
+        with pytest.raises(AttributeError):
+            tgd.body = ()
+
+
+class TestTGDVariableSets:
+    def test_frontier(self):
+        tgd = parse_tgd("R(x,y) -> S(y,z)")
+        assert tgd.frontier() == {Variable("y")}
+
+    def test_existential_variables(self):
+        tgd = parse_tgd("R(x,y) -> S(y,z)")
+        assert tgd.existential_variables() == {Variable("z")}
+
+    def test_empty_frontier_detection(self):
+        tgd = parse_tgd("R(x,y) -> S(z,w)")
+        assert tgd.has_empty_frontier()
+        assert not parse_tgd("R(x,y) -> S(x,w)").has_empty_frontier()
+
+    def test_body_and_head_variables(self):
+        tgd = parse_tgd("R(x,y), S(y,w) -> T(x,z)")
+        assert tgd.body_variables() == {Variable("x"), Variable("y"), Variable("w")}
+        assert tgd.head_variables() == {Variable("x"), Variable("z")}
+
+
+class TestTGDClassification:
+    def test_linear(self):
+        assert parse_tgd("R(x,y) -> S(y,z)").is_linear()
+        assert not parse_tgd("R(x,y), S(y,w) -> T(x,z)").is_linear()
+
+    def test_simple_linear(self):
+        assert parse_tgd("R(x,y) -> S(y,y)").is_simple_linear()
+        assert not parse_tgd("R(x,x) -> S(x,z)").is_simple_linear()
+        assert not parse_tgd("R(x,y), S(y,z) -> T(x,z)").is_simple_linear()
+
+    def test_single_head(self):
+        assert parse_tgd("R(x,y) -> S(y,z)").is_single_head()
+        assert not parse_tgd("R(x,y) -> S(y,z), T(x,z)").is_single_head()
+
+    def test_body_atom_requires_linearity(self):
+        with pytest.raises(NotLinearError):
+            parse_tgd("R(x,y), S(y,z) -> T(x,z)").body_atom()
+
+    def test_predicates(self):
+        tgd = parse_tgd("R(x,y) -> S(y,z), T(x,z)")
+        assert {p.name for p in tgd.predicates()} == {"R", "S", "T"}
+
+
+class TestTGDSet:
+    def test_deduplication(self):
+        tgds = TGDSet([parse_tgd("R(x,y) -> S(y,z)"), parse_tgd("R(x,y) -> S(y,z)")])
+        assert len(tgds) == 1
+
+    def test_insertion_order_preserved(self):
+        rules = parse_rules("R(x,y) -> S(y,z)\nS(x,y) -> T(x,y)\nT(x,y) -> R(x,y)")
+        names = [tgd.body[0].predicate.name for tgd in rules]
+        assert names == ["R", "S", "T"]
+
+    def test_schema(self):
+        rules = parse_rules("R(x,y) -> S(y,z)\nS(x,y) -> T(x,y)")
+        assert {p.name for p in rules.schema()} == {"R", "S", "T"}
+
+    def test_class_checks(self):
+        sl = parse_rules("R(x,y) -> S(y,z)")
+        lin = parse_rules("R(x,x) -> S(x,z)")
+        assert sl.is_simple_linear() and sl.is_linear()
+        assert lin.is_linear() and not lin.is_simple_linear()
+        with pytest.raises(NotSimpleLinearError):
+            lin.require_simple_linear()
+
+    def test_require_linear_rejects_multi_body(self):
+        rules = parse_rules("R(x,y), S(y,z) -> T(x,z)")
+        with pytest.raises(NotLinearError):
+            rules.require_linear()
+
+    def test_split_empty_frontier(self):
+        rules = parse_rules("R(x,y) -> S(z,w)\nR(x,y) -> S(x,w)")
+        non_empty, empty = rules.split_empty_frontier()
+        assert len(non_empty) == 1
+        assert len(empty) == 1
+
+    def test_by_body_predicate_index(self):
+        rules = parse_rules("R(x,y) -> S(y,z)\nR(x,y) -> T(x,y)\nS(x,y) -> T(x,y)")
+        index = rules.by_body_predicate()
+        assert len(index[Predicate("R", 2)]) == 2
+        assert len(index[Predicate("S", 2)]) == 1
+
+    def test_counts(self):
+        rules = parse_rules("R(x,y) -> S(y,z), T(x,z)\nS(x,y) -> T(x,y)")
+        assert rules.head_atom_count() == 3
+        assert rules.max_arity() == 2
+
+    def test_membership_and_equality(self):
+        first = parse_rules("R(x,y) -> S(y,z)")
+        second = parse_rules("R(x,y) -> S(y,z)")
+        assert first == second
+        assert tuple(first)[0] in second

@@ -1,0 +1,81 @@
+"""Tests for result rendering and aggregation."""
+
+import csv
+
+from repro.experiments.reporting import format_table, group_mean, summarize_figure, write_csv
+
+
+SAMPLE_ROWS = [
+    {"figure": "figure1", "predicate_profile": "[5,200]", "tgd_profile": "[1,333]", "n_rules": 10, "t_total": 0.5},
+    {"figure": "figure1", "predicate_profile": "[5,200]", "tgd_profile": "[1,333]", "n_rules": 20, "t_total": 1.5},
+    {"figure": "figure1", "predicate_profile": "[200,400]", "tgd_profile": "[1,333]", "n_rules": 30, "t_total": 3.0},
+]
+
+
+class TestFormatTable:
+    def test_renders_all_rows_and_columns(self):
+        text = format_table(SAMPLE_ROWS, title="demo")
+        assert "demo" in text
+        assert text.count("\n") == len(SAMPLE_ROWS) + 2
+        assert "predicate_profile" in text
+        assert "[200,400]" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_column_selection(self):
+        text = format_table(SAMPLE_ROWS, columns=["n_rules"])
+        assert "t_total" not in text
+
+    def test_boolean_and_float_formatting(self):
+        text = format_table([{"ok": True, "tiny": 0.000001, "zero": 0.0}])
+        assert "yes" in text
+        assert "e-06" in text
+
+
+class TestGroupMean:
+    def test_grouping_and_averaging(self):
+        aggregated = group_mean(SAMPLE_ROWS, ["predicate_profile"], ["n_rules", "t_total"])
+        assert len(aggregated) == 2
+        first = next(a for a in aggregated if a["predicate_profile"] == "[5,200]")
+        assert first["n"] == 2
+        assert first["mean_n_rules"] == 15
+        assert first["mean_t_total"] == 1.0
+
+    def test_missing_values_are_skipped(self):
+        rows = [{"g": 1, "v": 2}, {"g": 1, "v": None}]
+        aggregated = group_mean(rows, ["g"], ["v"])
+        assert aggregated[0]["mean_v"] == 2
+
+
+class TestCSVAndSummary:
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        write_csv(SAMPLE_ROWS, path)
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 3
+        assert rows[0]["n_rules"] == "10"
+
+    def test_write_csv_unions_columns(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        write_csv([{"a": 1}, {"b": 2}], path)
+        with open(path, newline="") as handle:
+            reader = csv.DictReader(handle)
+            assert set(reader.fieldnames) == {"a", "b"}
+
+    def test_summarize_figure_groups_timing_rows(self):
+        text = summarize_figure(SAMPLE_ROWS)
+        assert "means per group" in text
+        assert "mean_t_total" in text
+
+    def test_summarize_figure_handles_shape_rows(self):
+        rows = [
+            {"figure": "figure2", "predicate_profile": "[5,200]", "n_tuples_per_relation": 10, "n_shapes": 4},
+            {"figure": "figure2", "predicate_profile": "[5,200]", "n_tuples_per_relation": 20, "n_shapes": 6},
+        ]
+        text = summarize_figure(rows)
+        assert "n_tuples_per_relation" in text
+
+    def test_summarize_empty(self):
+        assert summarize_figure([]) == "(no rows)"

@@ -1,0 +1,73 @@
+"""Unit tests for the workload profiles."""
+
+import random
+
+import pytest
+
+from repro.exceptions import ExperimentConfigError
+from repro.generators.profiles import (
+    CombinedProfile,
+    PredicateProfile,
+    TGDProfile,
+    combined_profiles,
+    database_sizes,
+    paper_predicate_profiles,
+    paper_tgd_profiles,
+)
+
+
+class TestProfiles:
+    def test_paper_predicate_profiles(self):
+        profiles = paper_predicate_profiles()
+        assert [(p.low, p.high) for p in profiles] == [(5, 200), (200, 400), (400, 600)]
+        assert profiles[0].label == "[5,200]"
+
+    def test_paper_tgd_profiles_nominal(self):
+        profiles = paper_tgd_profiles()
+        assert profiles[-1].high == 1_000_000
+
+    def test_tgd_profiles_scaling(self):
+        profiles = paper_tgd_profiles(0.001)
+        assert profiles[0].low == 1
+        assert profiles[-1].high == 1000
+
+    def test_scaling_never_drops_below_one(self):
+        assert paper_tgd_profiles(1e-9)[0].low == 1
+
+    def test_invalid_profiles_rejected(self):
+        with pytest.raises(ExperimentConfigError):
+            PredicateProfile(0, 10)
+        with pytest.raises(ExperimentConfigError):
+            TGDProfile(10, 5)
+        with pytest.raises(ExperimentConfigError):
+            TGDProfile(1, 10).scaled(0)
+
+    def test_sampling_stays_in_range(self):
+        rng = random.Random(3)
+        profile = PredicateProfile(5, 200)
+        for _ in range(50):
+            assert 5 <= profile.sample(rng) <= 200
+
+    def test_combined_profiles_grid(self):
+        grid = combined_profiles(0.01)
+        assert len(grid) == 9
+        labels = {profile.label for profile in grid}
+        assert len(labels) == 9
+
+    def test_combined_profile_sampling(self):
+        rng = random.Random(3)
+        profile = CombinedProfile(PredicateProfile(5, 10), TGDProfile(2, 4))
+        ssize, tsize = profile.sample_sizes(rng)
+        assert 5 <= ssize <= 10 and 2 <= tsize <= 4
+
+    def test_database_sizes(self):
+        assert database_sizes(1.0) == [1_000, 50_000, 100_000, 250_000, 500_000]
+        scaled = database_sizes(0.001)
+        assert scaled[0] == 1
+        assert sorted(scaled) == scaled
+        with pytest.raises(ExperimentConfigError):
+            database_sizes(0)
+
+    def test_database_sizes_deduplicate_when_collapsed(self):
+        sizes = database_sizes(1e-9)
+        assert sizes == [1]

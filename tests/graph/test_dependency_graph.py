@@ -1,0 +1,99 @@
+"""Unit tests for repro.graph.dependency_graph."""
+
+from repro.core.parser import parse_rules
+from repro.core.predicates import Position, Predicate
+from repro.graph.dependency_graph import (
+    DependencyGraph,
+    build_dependency_graph,
+    build_support_graph,
+)
+
+R = Predicate("R", 2)
+S = Predicate("S", 2)
+
+
+class TestGraphStructure:
+    def test_nodes_cover_all_schema_positions(self):
+        rules = parse_rules("R(x,y) -> S(y,z)")
+        graph = build_dependency_graph(rules)
+        assert len(graph) == 4
+        assert Position(R, 1) in graph and Position(S, 2) in graph
+
+    def test_normal_and_special_edges(self):
+        rules = parse_rules("R(x,y) -> S(y,z)")
+        graph = build_dependency_graph(rules)
+        # y occurs at (R,2); head S(y,z): y at (S,1) (normal), z at (S,2) (special).
+        assert graph.has_edge(Position(R, 2), Position(S, 1))
+        assert not graph.is_special_edge(Position(R, 2), Position(S, 1))
+        assert graph.is_special_edge(Position(R, 2), Position(S, 2))
+        # x is not a frontier variable, so (R,1) has no outgoing edges.
+        assert list(graph.successors(Position(R, 1))) == []
+
+    def test_edge_counts(self):
+        rules = parse_rules("R(x,y) -> S(y,z)")
+        graph = build_dependency_graph(rules)
+        assert graph.edge_count() == 2
+        assert graph.special_edge_count() == 1
+
+    def test_parallel_edges_collapse_special_wins(self):
+        # y -> (S,1) is normal via the first rule and special via the second.
+        rules = parse_rules("R(x,y) -> S(y,x)\nR(x,y) -> S(z,y)")
+        graph = build_dependency_graph(rules)
+        assert graph.is_special_edge(Position(R, 2), Position(S, 1))
+        assert graph.edge_count() == len(graph.edges())
+
+    def test_reverse_adjacency_matches_forward(self):
+        rules = parse_rules("R(x,y) -> S(y,z)\nS(x,y) -> R(y,x)")
+        graph = build_dependency_graph(rules)
+        for edge in graph.edges():
+            predecessors = dict(graph.predecessors(edge.target))
+            assert edge.source in predecessors
+            assert predecessors[edge.source] == edge.special
+
+    def test_repeated_body_variable_contributes_all_positions(self):
+        rules = parse_rules("R(x,x) -> S(x,z)")
+        graph = build_dependency_graph(rules)
+        assert graph.has_edge(Position(R, 1), Position(S, 1))
+        assert graph.has_edge(Position(R, 2), Position(S, 1))
+        assert graph.is_special_edge(Position(R, 1), Position(S, 2))
+
+    def test_multi_head_rule_edges(self):
+        rules = parse_rules("R(x,y) -> S(y,z), T(y,x)")
+        graph = build_dependency_graph(rules)
+        T = Predicate("T", 2)
+        assert graph.has_edge(Position(R, 2), Position(T, 1))
+        assert graph.has_edge(Position(R, 1), Position(T, 2))
+        # The special edge for z goes from every frontier-variable body position.
+        assert graph.is_special_edge(Position(R, 1), Position(S, 2))
+        assert graph.is_special_edge(Position(R, 2), Position(S, 2))
+
+    def test_construction_is_linear_in_rules(self):
+        # Same rule repeated does not blow up the collapsed graph.
+        rules = parse_rules("\n".join(f"R(x,y) -> S{i}(y,z)" for i in range(20)))
+        graph = build_dependency_graph(rules)
+        assert graph.edge_count() == 40
+
+    def test_to_networkx_round_trip(self):
+        import networkx as nx
+
+        rules = parse_rules("R(x,y) -> S(y,z)\nS(x,y) -> R(y,x)")
+        graph = build_dependency_graph(rules)
+        exported = graph.to_networkx()
+        assert exported.number_of_nodes() == len(graph)
+        assert exported.number_of_edges() == graph.edge_count()
+
+
+class TestSupportGraph:
+    def test_empty_frontier_rule_adds_reachability_edges(self):
+        rules = parse_rules("R(x) -> S(z)\nS(y) -> T(y,w)")
+        plain = build_dependency_graph(rules)
+        support = build_support_graph(rules)
+        S1 = Position(Predicate("S", 1), 1)
+        R1 = Position(Predicate("R", 1), 1)
+        assert not plain.has_edge(R1, S1)
+        assert support.has_edge(R1, S1)
+        assert not support.is_special_edge(R1, S1)
+
+    def test_no_empty_frontier_means_same_graph(self):
+        rules = parse_rules("R(x,y) -> S(y,z)")
+        assert build_support_graph(rules).edge_count() == build_dependency_graph(rules).edge_count()

@@ -1,0 +1,123 @@
+"""Unit tests for repro.graph.tarjan, including a networkx cross-check."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parser import parse_rules
+from repro.core.predicates import Position, Predicate
+from repro.graph.dependency_graph import DependencyGraph, build_dependency_graph
+from repro.graph.tarjan import find_sccs, find_special_sccs, has_special_cycle
+
+
+def _graph_from_edges(n_nodes, edges):
+    """Build a DependencyGraph over unary predicates v0..v{n-1} from an edge list."""
+    predicates = [Predicate(f"v{i}", 1) for i in range(n_nodes)]
+    positions = [Position(p, 1) for p in predicates]
+    graph = DependencyGraph()
+    for position in positions:
+        graph.add_node(position)
+    for source, target, special in edges:
+        graph.add_edge(positions[source], positions[target], special)
+    return graph, positions
+
+
+class TestFindSCCs:
+    def test_single_cycle(self):
+        graph, positions = _graph_from_edges(3, [(0, 1, False), (1, 2, False), (2, 0, False)])
+        sccs = find_sccs(graph)
+        assert {frozenset(positions)} == set(sccs)
+
+    def test_dag_has_singleton_components(self):
+        graph, positions = _graph_from_edges(4, [(0, 1, False), (1, 2, False), (2, 3, False)])
+        sccs = find_sccs(graph)
+        assert len(sccs) == 4
+        assert all(len(component) == 1 for component in sccs)
+
+    def test_two_components(self):
+        graph, positions = _graph_from_edges(
+            5, [(0, 1, False), (1, 0, False), (2, 3, False), (3, 4, False), (4, 2, False)]
+        )
+        sizes = sorted(len(component) for component in find_sccs(graph))
+        assert sizes == [2, 3]
+
+    def test_deep_chain_does_not_hit_recursion_limit(self):
+        edges = [(i, i + 1, False) for i in range(3000)]
+        graph, _ = _graph_from_edges(3001, edges)
+        assert len(find_sccs(graph)) == 3001
+
+    @given(st.integers(min_value=1, max_value=12), st.data())
+    @settings(max_examples=30)
+    def test_agrees_with_networkx(self, n_nodes, data):
+        import networkx as nx
+
+        n_edges = data.draw(st.integers(min_value=0, max_value=3 * n_nodes))
+        edges = [
+            (
+                data.draw(st.integers(min_value=0, max_value=n_nodes - 1)),
+                data.draw(st.integers(min_value=0, max_value=n_nodes - 1)),
+                data.draw(st.booleans()),
+            )
+            for _ in range(n_edges)
+        ]
+        graph, positions = _graph_from_edges(n_nodes, edges)
+        ours = {frozenset(component) for component in find_sccs(graph)}
+        reference_graph = nx.DiGraph()
+        reference_graph.add_nodes_from(positions)
+        for source, target, _special in edges:
+            reference_graph.add_edge(positions[source], positions[target])
+        reference = {frozenset(component) for component in nx.strongly_connected_components(reference_graph)}
+        assert ours == reference
+
+
+class TestSpecialSCCs:
+    def test_special_cycle_detected(self):
+        graph, positions = _graph_from_edges(2, [(0, 1, True), (1, 0, False)])
+        special = find_special_sccs(graph)
+        assert len(special) == 1
+        assert special[0].nodes == frozenset(positions)
+
+    def test_normal_cycle_is_not_special(self):
+        graph, _ = _graph_from_edges(2, [(0, 1, False), (1, 0, False)])
+        assert find_special_sccs(graph) == []
+        assert not has_special_cycle(graph)
+
+    def test_special_edge_outside_any_cycle_is_ignored(self):
+        graph, _ = _graph_from_edges(3, [(0, 1, True), (1, 2, False)])
+        assert find_special_sccs(graph) == []
+
+    def test_special_self_loop(self):
+        graph, positions = _graph_from_edges(1, [(0, 0, True)])
+        special = find_special_sccs(graph)
+        assert len(special) == 1
+        assert special[0].representative() == positions[0]
+
+    def test_normal_self_loop_not_special(self):
+        graph, _ = _graph_from_edges(1, [(0, 0, False)])
+        assert find_special_sccs(graph) == []
+
+    def test_methods_agree(self):
+        rng = random.Random(5)
+        for _ in range(25):
+            n_nodes = rng.randint(1, 10)
+            edges = [
+                (rng.randrange(n_nodes), rng.randrange(n_nodes), rng.random() < 0.4)
+                for _ in range(rng.randint(0, 2 * n_nodes))
+            ]
+            graph, _ = _graph_from_edges(n_nodes, edges)
+            edge_scan = {scc.nodes for scc in find_special_sccs(graph, method="edge-scan")}
+            token = {scc.nodes for scc in find_special_sccs(graph, method="token")}
+            assert edge_scan == token
+
+    def test_unknown_method_rejected(self):
+        graph, _ = _graph_from_edges(1, [])
+        with pytest.raises(ValueError):
+            find_special_sccs(graph, method="bogus")
+
+    def test_on_rule_graphs(self):
+        finite = build_dependency_graph(parse_rules("R(x,y) -> S(y,z)\nS(x,y) -> T(x)"))
+        infinite = build_dependency_graph(parse_rules("R(x,y) -> R(y,z)"))
+        assert not has_special_cycle(finite)
+        assert has_special_cycle(infinite)

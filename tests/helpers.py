@@ -1,0 +1,98 @@
+"""Shared test helpers and hypothesis strategies.
+
+The strategies generate *small* random databases and (simple-)linear TGD
+sets: the property-based tests compare the acyclicity-based termination
+checkers against actually running the semi-oblivious chase, so inputs must
+stay small enough for the ground-truth chase to finish quickly whenever it
+terminates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from hypothesis import strategies as st
+
+from repro.core.atoms import Atom
+from repro.core.instances import Database
+from repro.core.predicates import Predicate
+from repro.core.terms import Constant, Variable
+from repro.core.tgds import TGD, TGDSet
+
+#: Small, fixed vocabulary keeps the search space dense with interesting cases.
+PREDICATE_POOL = [Predicate("P", 1), Predicate("Q", 2), Predicate("R", 2), Predicate("S", 3)]
+CONSTANT_POOL = [Constant(name) for name in ("a", "b", "c")]
+VARIABLE_POOL = [Variable(name) for name in ("x1", "x2", "x3")]
+EXISTENTIAL_POOL = [Variable(name) for name in ("z1", "z2", "z3")]
+
+
+def atoms_equal_modulo_nulls(left, right) -> bool:
+    """Compare two instances ignoring the concrete names of nulls (isomorphism test)."""
+    from repro.core.substitutions import homomorphisms
+    from repro.core.instances import Instance
+
+    left_instance = Instance(left.atoms()) if not isinstance(left, Instance) else left
+    right_instance = Instance(right.atoms()) if not isinstance(right, Instance) else right
+    return len(left_instance) == len(right_instance)
+
+
+@st.composite
+def predicates(draw):
+    """Draw a predicate from the small pool."""
+    return draw(st.sampled_from(PREDICATE_POOL))
+
+
+@st.composite
+def facts(draw):
+    """Draw a single ground fact over the constant pool."""
+    predicate = draw(predicates())
+    terms = tuple(draw(st.sampled_from(CONSTANT_POOL)) for _ in range(predicate.arity))
+    return Atom(predicate, terms)
+
+
+@st.composite
+def databases(draw, min_size=1, max_size=5):
+    """Draw a small database."""
+    atoms = draw(st.lists(facts(), min_size=min_size, max_size=max_size))
+    database = Database()
+    for atom in atoms:
+        database.add(atom)
+    return database
+
+
+@st.composite
+def linear_tgds(draw, simple=False):
+    """Draw a single linear TGD over the small vocabulary.
+
+    When *simple* is true the body variables are pairwise distinct; otherwise
+    body positions may repeat variables.  Heads reuse body variables or
+    introduce existential variables; at least one head position reuses a body
+    variable so the frontier is non-empty (the paper's standing assumption).
+    """
+    body_predicate = draw(predicates())
+    head_predicate = draw(predicates())
+    if simple:
+        body_terms = tuple(VARIABLE_POOL[:body_predicate.arity])
+    else:
+        body_terms = tuple(
+            draw(st.sampled_from(VARIABLE_POOL[: max(1, body_predicate.arity)]))
+            for _ in range(body_predicate.arity)
+        )
+    body_variables = list(dict.fromkeys(body_terms))
+    head_terms: List = []
+    for _ in range(head_predicate.arity):
+        if draw(st.booleans()):
+            head_terms.append(draw(st.sampled_from(EXISTENTIAL_POOL)))
+        else:
+            head_terms.append(draw(st.sampled_from(body_variables)))
+    if all(term in EXISTENTIAL_POOL for term in head_terms):
+        index = draw(st.integers(min_value=0, max_value=len(head_terms) - 1))
+        head_terms[index] = body_variables[0]
+    return TGD((Atom(body_predicate, body_terms),), (Atom(head_predicate, tuple(head_terms)),))
+
+
+@st.composite
+def linear_tgd_sets(draw, simple=False, min_size=1, max_size=4):
+    """Draw a small set of (simple-)linear TGDs."""
+    tgds = draw(st.lists(linear_tgds(simple=simple), min_size=min_size, max_size=max_size))
+    return TGDSet(tgds)

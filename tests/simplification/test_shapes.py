@@ -1,0 +1,154 @@
+"""Unit tests for repro.simplification.shapes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from tests.helpers import databases
+
+from repro.chase.bounds import bell_number
+from repro.core.atoms import Atom
+from repro.core.parser import parse_database
+from repro.core.predicates import Predicate, Schema
+from repro.core.terms import Constant, Variable
+from repro.simplification.shapes import (
+    Shape,
+    count_shapes,
+    database_of_shapes,
+    identifier_tuple,
+    identifier_tuples_of_arity,
+    is_identifier_tuple,
+    shape_of_atom,
+    shapes_of_database,
+    shapes_of_predicate,
+    shapes_of_schema,
+    simplify_atom,
+    simplify_database,
+    unique_tuple,
+)
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestIdentifierAlgebra:
+    def test_paper_example(self):
+        # id((x, y, x, z, y)) = (1, 2, 1, 3, 2), unique = (x, y, z)  (Section 3)
+        terms = (x, y, x, z, y)
+        assert identifier_tuple(terms) == (1, 2, 1, 3, 2)
+        assert unique_tuple(terms) == (x, y, z)
+
+    def test_all_distinct(self):
+        assert identifier_tuple((x, y, z)) == (1, 2, 3)
+
+    def test_all_equal(self):
+        assert identifier_tuple((x, x, x)) == (1, 1, 1)
+
+    def test_is_identifier_tuple(self):
+        assert is_identifier_tuple((1, 2, 1, 3, 2))
+        assert not is_identifier_tuple((2, 1))  # must start at 1
+        assert not is_identifier_tuple((1, 3))  # must not skip
+        assert not is_identifier_tuple(())
+        assert not is_identifier_tuple((0,))
+
+    @given(st.lists(st.sampled_from([x, y, z]), min_size=1, max_size=6))
+    def test_identifier_tuple_is_always_valid(self, terms):
+        assert is_identifier_tuple(identifier_tuple(terms))
+
+    @given(st.lists(st.sampled_from([x, y, z]), min_size=1, max_size=6))
+    def test_identifier_respects_equality_pattern(self, terms):
+        ids = identifier_tuple(terms)
+        for i in range(len(terms)):
+            for j in range(len(terms)):
+                assert (terms[i] == terms[j]) == (ids[i] == ids[j])
+
+
+class TestShape:
+    def test_invalid_identifiers_rejected(self):
+        with pytest.raises(ValueError):
+            Shape("R", (2, 1))
+
+    def test_shape_of_atom(self):
+        atom = Atom(Predicate("R", 3), (x, y, x))
+        assert shape_of_atom(atom) == Shape("R", (1, 2, 1))
+
+    def test_as_predicate_has_reduced_arity(self):
+        shape = Shape("R", (1, 1, 2))
+        predicate = shape.as_predicate()
+        assert predicate.arity == 2
+        assert predicate.name == "R__1_1_2"
+
+    def test_canonical_atom(self):
+        shape = Shape("R", (1, 1, 2))
+        atom = shape.canonical_atom()
+        assert atom.terms == (Constant("1"), Constant("1"), Constant("2"))
+
+    def test_equal_position_pairs(self):
+        assert Shape("R", (1, 1, 2)).equal_position_pairs() == {(1, 2)}
+        assert Shape("R", (1, 2)).equal_position_pairs() == set()
+
+    def test_refines(self):
+        assert Shape("R", (1, 1, 1)).refines(Shape("R", (1, 1, 2)))
+        assert not Shape("R", (1, 1, 2)).refines(Shape("R", (1, 1, 1)))
+        assert not Shape("S", (1, 1)).refines(Shape("R", (1, 1)))
+
+    def test_is_simple(self):
+        assert Shape("R", (1, 2, 3)).is_simple()
+        assert not Shape("R", (1, 1)).is_simple()
+
+    def test_str(self):
+        assert str(Shape("R", (1, 2, 1))) == "R[1,2,1]"
+
+
+class TestSimplification:
+    def test_simplify_atom(self):
+        atom = Atom(Predicate("R", 3), (Constant("a"), Constant("b"), Constant("a")))
+        simplified = simplify_atom(atom)
+        assert simplified.predicate.name == "R__1_2_1"
+        assert simplified.terms == (Constant("a"), Constant("b"))
+
+    def test_simplify_database(self):
+        database = parse_database("R(a,a).\nR(a,b).")
+        simplified = simplify_database(database)
+        names = {atom.predicate.name for atom in simplified}
+        assert names == {"R__1_1", "R__1_2"}
+
+    def test_shapes_of_database(self):
+        database = parse_database("R(a,a).\nR(b,b).\nR(a,b).")
+        assert shapes_of_database(database) == {Shape("R", (1, 1)), Shape("R", (1, 2))}
+        assert count_shapes(database) == 2
+
+    @given(databases(max_size=6))
+    def test_shape_count_never_exceeds_atom_count(self, database):
+        assert count_shapes(database) <= len(database)
+
+    @given(databases(max_size=6))
+    def test_simplified_database_has_one_atom_per_distinct_simplification(self, database):
+        simplified = simplify_database(database)
+        assert len(simplified) <= len(database)
+        assert {shape_of_atom(a).predicate_name for a in database} == {
+            atom.predicate.name.rsplit("__", 1)[0] for atom in simplified
+        }
+
+
+class TestShapeEnumeration:
+    def test_counts_are_bell_numbers(self):
+        for arity in range(1, 6):
+            assert len(list(identifier_tuples_of_arity(arity))) == bell_number(arity)
+
+    def test_shapes_of_predicate(self):
+        shapes = list(shapes_of_predicate(Predicate("R", 3)))
+        assert len(shapes) == 5
+        assert all(shape.predicate_name == "R" for shape in shapes)
+
+    def test_shapes_of_schema(self):
+        schema = Schema([Predicate("R", 2), Predicate("S", 1)])
+        assert len(list(shapes_of_schema(schema))) == 3
+
+    def test_invalid_arity(self):
+        with pytest.raises(ValueError):
+            list(identifier_tuples_of_arity(0))
+
+    def test_database_of_shapes(self):
+        database = database_of_shapes({Shape("R", (1, 2)), Shape("P", (1, 1, 2))})
+        assert len(database) == 2
+        assert Atom(Predicate("P", 3), (Constant("1"), Constant("1"), Constant("2"))) in database

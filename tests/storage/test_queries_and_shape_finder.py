@@ -1,0 +1,156 @@
+"""Unit and property tests for shape queries and the two FindShapes implementations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.predicates import Predicate
+from repro.simplification.shapes import Shape, identifier_tuple, shapes_of_database
+from repro.storage.database import RelationalDatabase
+from repro.storage.queries import (
+    disequality_condition_pairs,
+    equality_condition_pairs,
+    row_matches_shape,
+    shape_exists,
+    shape_query_sql,
+)
+from repro.storage.shape_finder import (
+    InDatabaseShapeFinder,
+    InMemoryShapeFinder,
+    find_shapes,
+)
+from repro.storage.views import PrefixView
+
+
+class TestShapeQueries:
+    def test_condition_pairs(self):
+        shape = Shape("R", (1, 1, 2))
+        assert equality_condition_pairs(shape) == [(1, 2)]
+        assert disequality_condition_pairs(shape) == [(1, 3), (2, 3)]
+
+    def test_row_matches_shape_exact(self):
+        shape = Shape("R", (1, 1, 2))
+        assert row_matches_shape(("a", "a", "b"), shape)
+        assert not row_matches_shape(("a", "b", "b"), shape)
+        assert not row_matches_shape(("a", "a", "a"), shape)
+
+    def test_row_matches_shape_relaxed(self):
+        shape = Shape("R", (1, 1, 2))
+        # Relaxed keeps only the equality conditions, so (a,a,a) qualifies.
+        assert row_matches_shape(("a", "a", "a"), shape, relaxed=True)
+        assert not row_matches_shape(("a", "b", "a"), shape, relaxed=True)
+
+    def test_arity_mismatch_never_matches(self):
+        assert not row_matches_shape(("a", "b"), Shape("R", (1, 1, 2)))
+
+    def test_shape_exists(self):
+        rows = [("a", "b", "c"), ("a", "a", "c")]
+        assert shape_exists(rows, Shape("R", (1, 1, 2)))
+        assert not shape_exists(rows, Shape("R", (1, 1, 1)))
+
+    def test_sql_rendering_matches_paper_example(self):
+        sql = shape_query_sql(Shape("R", (1, 1, 2)))
+        assert "a1=a2" in sql and "a2!=a3" in sql and "FROM R" in sql
+        relaxed = shape_query_sql(Shape("R", (1, 1, 2)), relaxed=True)
+        assert "!=" not in relaxed
+
+    @given(
+        st.lists(st.tuples(*[st.sampled_from("abc")] * 3), min_size=0, max_size=8),
+        st.sampled_from([(1, 1, 1), (1, 1, 2), (1, 2, 1), (1, 2, 2), (1, 2, 3)]),
+    )
+    def test_exists_agrees_with_identifier_computation(self, rows, identifiers):
+        shape = Shape("R", identifiers)
+        expected = any(identifier_tuple(row) == identifiers for row in rows)
+        assert shape_exists(rows, shape) == expected
+
+
+def _store_from_rows(rows_by_relation):
+    store = RelationalDatabase()
+    for (name, arity), rows in rows_by_relation.items():
+        relation = store.create_relation(Predicate(name, arity))
+        relation.insert_many(rows)
+    return store
+
+
+class TestShapeFinders:
+    def _example_store(self):
+        return _store_from_rows(
+            {
+                ("R", 3): [("a", "a", "b"), ("a", "b", "c"), ("d", "d", "d")],
+                ("S", 2): [("a", "a")],
+                ("T", 1): [],
+            }
+        )
+
+    def test_in_memory_finds_all_shapes(self):
+        shapes = InMemoryShapeFinder(self._example_store()).find_shapes()
+        assert shapes == {
+            Shape("R", (1, 1, 2)),
+            Shape("R", (1, 2, 3)),
+            Shape("R", (1, 1, 1)),
+            Shape("S", (1, 1)),
+        }
+
+    def test_in_database_finds_all_shapes(self):
+        finder = InDatabaseShapeFinder(self._example_store())
+        shapes = finder.find_shapes()
+        assert shapes == InMemoryShapeFinder(self._example_store()).find_shapes()
+        assert finder.stats.queries_issued > 0
+
+    def test_apriori_pruning_skips_queries(self):
+        # A relation where no two columns are ever equal: every shape with an
+        # equality condition fails its relaxed query, so the refining shapes
+        # are pruned without being queried.
+        store = _store_from_rows({("R", 3): [("a", "b", "c"), ("d", "e", "f")]})
+        finder = InDatabaseShapeFinder(store)
+        shapes = finder.find_shapes()
+        assert shapes == {Shape("R", (1, 2, 3))}
+        assert finder.stats.shapes_pruned > 0
+
+    def test_in_memory_chunked_matches_unchunked(self):
+        store = self._example_store()
+        assert (
+            InMemoryShapeFinder(store, chunk_size=2).find_shapes()
+            == InMemoryShapeFinder(store).find_shapes()
+        )
+
+    def test_counters(self):
+        store = self._example_store()
+        finder = InMemoryShapeFinder(store)
+        finder.find_shapes()
+        assert finder.stats.rows_scanned == 4
+        assert finder.stats.shapes_found == 4
+
+    def test_find_shapes_wrapper(self):
+        store = self._example_store()
+        assert find_shapes(store, "in-memory") == find_shapes(store, "in-database")
+        with pytest.raises(ValueError):
+            find_shapes(store, "magic")
+
+    def test_works_on_prefix_views(self):
+        store = self._example_store()
+        view = PrefixView(store, 1)
+        shapes = InMemoryShapeFinder(view).find_shapes()
+        assert shapes == {Shape("R", (1, 1, 2)), Shape("S", (1, 1))}
+        assert InDatabaseShapeFinder(view).find_shapes() == shapes
+
+    def test_agrees_with_core_database_shapes(self):
+        store = self._example_store()
+        assert InMemoryShapeFinder(store).find_shapes() == shapes_of_database(store.to_database())
+
+    @given(
+        st.dictionaries(
+            st.tuples(st.sampled_from(["R", "S"]), st.integers(min_value=1, max_value=3)),
+            st.lists(st.lists(st.sampled_from("abc"), min_size=1, max_size=3), max_size=6),
+            max_size=2,
+        )
+    )
+    @settings(max_examples=30)
+    def test_both_implementations_always_agree(self, raw):
+        rows_by_relation = {}
+        for (name, arity), rows in raw.items():
+            if (name, arity) in rows_by_relation or any(r[0] == name for r in rows_by_relation):
+                continue
+            rows_by_relation[(name, arity)] = [tuple((row * arity)[:arity]) for row in rows]
+        store = _store_from_rows(rows_by_relation)
+        assert InMemoryShapeFinder(store).find_shapes() == InDatabaseShapeFinder(store).find_shapes()

@@ -1,0 +1,69 @@
+"""Unit tests for timing reports and the stopwatch."""
+
+import time
+
+from repro.termination.report import (
+    MaterializationReport,
+    Stopwatch,
+    TerminationReport,
+    TimingBreakdown,
+)
+
+
+class TestStopwatch:
+    def test_measure_accumulates(self):
+        stopwatch = Stopwatch()
+        with stopwatch.measure("phase"):
+            time.sleep(0.001)
+        with stopwatch.measure("phase"):
+            time.sleep(0.001)
+        assert stopwatch.get("phase") >= 0.002
+        assert stopwatch.get("other") == 0.0
+
+    def test_measure_records_on_exception(self):
+        stopwatch = Stopwatch()
+        try:
+            with stopwatch.measure("phase"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert stopwatch.get("phase") > 0
+
+    def test_record_and_as_dict(self):
+        stopwatch = Stopwatch()
+        stopwatch.record("t_parse", 1.5)
+        stopwatch.record("t_parse", 0.5)
+        assert stopwatch.as_dict() == {"t_parse": 2.0}
+
+
+class TestTimingBreakdown:
+    def test_totals(self):
+        timings = TimingBreakdown(t_parse=1.0, t_shapes=4.0, t_graph=2.0, t_comp=0.5)
+        assert timings.t_total == 7.5
+        assert timings.db_independent == 3.5
+        assert timings.db_dependent == 4.0
+        as_dict = timings.as_dict()
+        assert as_dict["t_total"] == 7.5
+        assert as_dict["db_dependent"] == 4.0
+
+    def test_from_stopwatch(self):
+        stopwatch = Stopwatch()
+        stopwatch.record("t_parse", 0.25)
+        stopwatch.record("t_comp", 0.75)
+        timings = TimingBreakdown.from_stopwatch(stopwatch)
+        assert timings.t_parse == 0.25
+        assert timings.t_comp == 0.75
+        assert timings.t_shapes == 0.0
+
+
+class TestReports:
+    def test_termination_report_truthiness(self):
+        assert bool(TerminationReport(finite=True, algorithm="x")) is True
+        assert bool(TerminationReport(finite=False, algorithm="x")) is False
+
+    def test_materialization_report_truthiness(self):
+        inconclusive = MaterializationReport(
+            finite=None, conclusive=False, atoms_materialized=1, bound=10,
+            bound_saturated=False, elapsed_seconds=0.0,
+        )
+        assert bool(inconclusive) is False

@@ -1,0 +1,48 @@
+"""Unit tests for (non-uniform) weak acyclicity."""
+
+from repro.core.parser import parse_database, parse_rules
+from repro.termination.weak_acyclicity import is_weakly_acyclic, is_weakly_acyclic_wrt
+
+
+class TestUniformWeakAcyclicity:
+    def test_acyclic_rules(self):
+        assert is_weakly_acyclic(parse_rules("R(x,y) -> S(y,z)\nS(x,y) -> T(x)"))
+
+    def test_special_cycle(self):
+        assert not is_weakly_acyclic(parse_rules("R(x,y) -> R(y,z)"))
+
+    def test_normal_cycle_is_fine(self):
+        assert is_weakly_acyclic(parse_rules("R(x,y) -> S(y,x)\nS(x,y) -> R(y,x)"))
+
+    def test_indirect_special_cycle(self):
+        rules = parse_rules("R(x,y) -> S(y,z)\nS(x,y) -> R(x,y)")
+        assert not is_weakly_acyclic(rules)
+
+    def test_multi_body_rules_supported(self):
+        # The existential position (T,2) feeds back into (R,1), which drives the rule again.
+        rules = parse_rules("R(x,y), S(y,w) -> T(x,z)\nT(x,y) -> R(y,x)")
+        assert not is_weakly_acyclic(rules)
+        # Without the feedback through the existential position the set is weakly acyclic.
+        rules2 = parse_rules("R(x,y), S(y,w) -> T(x,z)\nT(x,y) -> R(x,y)")
+        assert is_weakly_acyclic(rules2)
+
+
+class TestNonUniformWeakAcyclicity:
+    def test_supported_cycle(self):
+        rules = parse_rules("R(x,y) -> R(y,z)")
+        assert not is_weakly_acyclic_wrt(rules, parse_database("R(a,b)."))
+
+    def test_unsupported_cycle(self):
+        # The bad cycle lives on S, and nothing in the database can ever reach S.
+        rules = parse_rules("S(x,y) -> S(y,z)\nR(x,y) -> T(y,x)")
+        assert is_weakly_acyclic_wrt(rules, parse_database("R(a,b)."))
+        assert not is_weakly_acyclic_wrt(rules, parse_database("S(a,b)."))
+
+    def test_weak_acyclicity_implies_non_uniform(self):
+        rules = parse_rules("R(x,y) -> S(y,z)\nS(x,y) -> T(x)")
+        assert is_weakly_acyclic(rules)
+        assert is_weakly_acyclic_wrt(rules, parse_database("R(a,b)."))
+
+    def test_empty_database_is_always_weakly_acyclic_wrt(self):
+        rules = parse_rules("R(x,y) -> R(y,z)")
+        assert is_weakly_acyclic_wrt(rules, parse_database(""))

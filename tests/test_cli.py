@@ -1,0 +1,77 @@
+"""Tests for the repro-experiments command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def rule_file(tmp_path):
+    path = tmp_path / "rules.txt"
+    path.write_text("R(x,y) -> R(y,z)\n")
+    return path
+
+
+@pytest.fixture
+def finite_rule_file(tmp_path):
+    path = tmp_path / "rules.txt"
+    path.write_text("R(x,y) -> S(y,z)\nS(x,y) -> T(x)\n")
+    return path
+
+
+@pytest.fixture
+def fact_file(tmp_path):
+    path = tmp_path / "facts.txt"
+    path.write_text("R(a,b).\n")
+    return path
+
+
+class TestCheckCommand:
+    def test_infinite_verdict(self, rule_file, fact_file, capsys):
+        assert main(["check", "--rules", str(rule_file), "--facts", str(fact_file)]) == 0
+        output = capsys.readouterr().out
+        assert "INFINITE" in output
+        assert "IsChaseFinite[SL]" in output
+
+    def test_finite_verdict_with_induced_database(self, finite_rule_file, capsys):
+        assert main(["check", "--rules", str(finite_rule_file)]) == 0
+        assert "FINITE" in capsys.readouterr().out
+
+    def test_forced_linear_algorithm(self, rule_file, fact_file, capsys):
+        assert main(["check", "--rules", str(rule_file), "--facts", str(fact_file), "--algorithm", "l"]) == 0
+        assert "IsChaseFinite[L]" in capsys.readouterr().out
+
+    def test_auto_picks_l_for_non_simple_rules(self, tmp_path, capsys):
+        path = tmp_path / "rules.txt"
+        path.write_text("R(x,x) -> R(z,x)\n")
+        facts = tmp_path / "facts.txt"
+        facts.write_text("R(a,b).\n")
+        assert main(["check", "--rules", str(path), "--facts", str(facts)]) == 0
+        assert "IsChaseFinite[L]" in capsys.readouterr().out
+
+
+class TestRunCommand:
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "figure99"]) == 2
+
+    def test_run_figure_smoke(self, capsys, tmp_path):
+        csv_path = tmp_path / "figure1.csv"
+        assert main(["run", "figure1", "--preset", "smoke", "--csv", str(csv_path)]) == 0
+        output = capsys.readouterr().out
+        assert "figure1" in output
+        assert csv_path.exists()
+
+    def test_run_table_smoke(self, capsys):
+        assert main(["run", "table1", "--raw", "--scenarios", "LUBM-1"]) == 0
+        assert "LUBM-1" in capsys.readouterr().out
+
+
+class TestListCommand:
+    def test_lists_experiments_and_presets(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "figure1" in output and "table2" in output and "smoke" in output
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
