@@ -1,0 +1,114 @@
+"""Old vs new trigger engine on multi-atom-body (join) workloads.
+
+The seed enumeration (``strategy="naive"``) re-derives *every* homomorphism
+of every multi-atom TGD body on every chase round and post-filters against
+the frontier; the indexed engine (``strategy="indexed"``) seeds each body
+slot with the round's delta atoms and joins outward through the
+``(predicate, position, term)`` hash indexes.  This benchmark pits the two
+against each other on an iBench STB/ONT-style mapping workload whose rules
+have join bodies (the case the naive path handles worst), asserts the
+results are identical, and records the speedup as a ``BENCH_*.json``
+artifact so future PRs can track the trajectory.
+"""
+
+import time
+
+from conftest import record_bench_json
+
+from repro.chase.engine import chase
+from repro.chase.result import ChaseLimits
+from repro.core.atoms import Atom
+from repro.core.instances import Database
+from repro.core.predicates import Predicate
+from repro.core.terms import Constant, Variable
+from repro.core.tgds import TGD, TGDSet
+
+#: Mapping chains (each contributes two join-body rules, STB/ONT-style).
+N_CHAINS = 24
+
+#: Tuples per source relation (the paper's iBench scenarios use 1000).
+ROWS_PER_SOURCE = 120
+
+#: Required speedup of the indexed engine over the naive reference.
+REQUIRED_SPEEDUP = 3.0
+
+
+def _join_workload(n_chains=N_CHAINS, rows=ROWS_PER_SOURCE):
+    """Build an STB/ONT-style mapping scenario with join bodies.
+
+    Chain ``i`` has source relations ``A_i(x, j)`` / ``B_i(j, y)`` sharing a
+    join column and a second-hop lookup table ``B2_i(y, u)`` keyed by
+    ``B_i``'s output column.  The first mapping ``A_i(x,y), B_i(y,z) ->
+    C_i(x,z,w)`` fires on the source data; the second ``C_i(x,z,w),
+    B2_i(z,u) -> D_i(x,u,v)`` only fires on chase-produced ``C_i`` atoms, so
+    reaching the fixpoint takes several delta rounds and the naive engine
+    re-enumerates every full join body on each of them.
+    """
+    x, y, z, w, u, v = (Variable(name) for name in "xyzwuv")
+    tgds = TGDSet()
+    database = Database()
+    for chain in range(n_chains):
+        a = Predicate(f"A{chain}", 2)
+        b = Predicate(f"B{chain}", 2)
+        b2 = Predicate(f"B2_{chain}", 2)
+        c = Predicate(f"C{chain}", 3)
+        d = Predicate(f"D{chain}", 3)
+        tgds.add(TGD((Atom(a, (x, y)), Atom(b, (y, z))), (Atom(c, (x, z, w)),)))
+        tgds.add(TGD((Atom(c, (x, z, w)), Atom(b2, (z, u))), (Atom(d, (x, u, v)),)))
+        for row in range(rows):
+            join_key = Constant(f"j{chain}_{row}")
+            out_key = Constant(f"b{chain}_{row % (rows // 2)}")
+            database.add(Atom(a, (Constant(f"a{chain}_{row}"), join_key)))
+            database.add(Atom(b, (join_key, out_key)))
+            database.add(Atom(b2, (out_key, Constant(f"u{chain}_{row}"))))
+    return database, tgds
+
+
+def _timed_chase(database, tgds, strategy):
+    start = time.perf_counter()
+    result = chase(
+        database,
+        tgds,
+        strategy=strategy,
+        limits=ChaseLimits(max_atoms=1_000_000, max_rounds=None),
+    )
+    return time.perf_counter() - start, result
+
+
+def test_indexed_engine_beats_naive_on_join_workloads():
+    database, tgds = _join_workload()
+    naive_seconds, naive_result = _timed_chase(database, tgds, "naive")
+    indexed_seconds, indexed_result = _timed_chase(database, tgds, "indexed")
+
+    # Differential guard: the speedup must not come from doing less work.
+    assert naive_result.terminated and indexed_result.terminated
+    assert naive_result.atoms_created == indexed_result.atoms_created
+    assert naive_result.triggers_fired == indexed_result.triggers_fired
+    assert naive_result.instance == indexed_result.instance
+
+    speedup = naive_seconds / indexed_seconds if indexed_seconds > 0 else float("inf")
+    artifact = record_bench_json(
+        "trigger_engine",
+        {
+            "workload": {
+                "style": "ibench-stb/ont join bodies",
+                "chains": N_CHAINS,
+                "rules": len(tgds),
+                "database_atoms": len(database),
+                "chase_atoms": len(naive_result.instance),
+                "rounds": naive_result.rounds,
+            },
+            "naive_seconds": naive_seconds,
+            "indexed_seconds": indexed_seconds,
+            "speedup": speedup,
+            "required_speedup": REQUIRED_SPEEDUP,
+        },
+    )
+    print(
+        f"\nnaive: {naive_seconds:.3f}s  indexed: {indexed_seconds:.3f}s  "
+        f"speedup: {speedup:.1f}x  (artifact: {artifact})"
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"indexed engine only {speedup:.2f}x faster than naive "
+        f"(naive {naive_seconds:.3f}s, indexed {indexed_seconds:.3f}s)"
+    )

@@ -11,11 +11,21 @@ larger sweeps.
 Each benchmark also prints the aggregated rows/series corresponding to the
 paper's plot or table (visible with ``-s`` or in the captured output), so a
 single run produces both the timing and the reproduced result.
+
+Every benchmark run additionally emits a machine-readable JSON artifact
+(``BENCH_<test>.json``) into the directory named by the
+``REPRO_BENCH_ARTIFACTS`` environment variable (default:
+``benchmarks/artifacts``), so successive PRs can track the performance
+trajectory without parsing pytest output.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import re
+import time
+from pathlib import Path
 
 import pytest
 
@@ -43,14 +53,57 @@ def scenario_scale():
     return {"smoke": 0.02, "default": None, "paper": 1.0}[name]
 
 
+def artifacts_dir() -> Path:
+    """Return (and create) the directory receiving the BENCH_*.json artifacts."""
+    directory = Path(os.environ.get("REPRO_BENCH_ARTIFACTS", Path(__file__).parent / "artifacts"))
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory
+
+
+def _current_test_name() -> str:
+    current = os.environ.get("PYTEST_CURRENT_TEST", "unknown")
+    # "benchmarks/bench_x.py::test_name (call)" -> "test_name"
+    name = current.split("::")[-1].split(" ")[0]
+    return re.sub(r"[^A-Za-z0-9_.\-\[\]]", "_", name)
+
+
+def record_bench_json(name: str, payload: dict) -> Path:
+    """Write *payload* as ``BENCH_<name>.json`` and return the artifact path.
+
+    Adds the preset and a wall-clock timestamp so artifacts from different
+    runs are self-describing.
+    """
+    safe = re.sub(r"[^A-Za-z0-9_.\-]", "_", name)
+    path = artifacts_dir() / f"BENCH_{safe}.json"
+    document = {
+        "name": name,
+        "preset": os.environ.get("REPRO_BENCH_PRESET", "smoke"),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        **payload,
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
 def run_once(benchmark, runner, *args, **kwargs):
     """Run *runner* exactly once under pytest-benchmark and return its rows.
 
     The experiment runners are long-running end-to-end sweeps, so a single
     round is the right granularity (the paper also reports single end-to-end
-    runs per input).
+    runs per input).  The wall-clock time is recorded as a BENCH_*.json
+    artifact named after the calling test.
     """
-    return benchmark.pedantic(runner, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    start = time.perf_counter()
+    rows = benchmark.pedantic(runner, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+    record_bench_json(
+        _current_test_name(),
+        {
+            "seconds": elapsed,
+            "rows": len(rows) if hasattr(rows, "__len__") else None,
+        },
+    )
+    return rows
 
 
 def report(rows, title=None, raw=False):

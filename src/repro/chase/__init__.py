@@ -2,6 +2,7 @@
 
 from .bounds import bell_number, chase_size_bound, static_simplification_size_bound
 from .engine import (
+    BACKENDS,
     ChaseEngine,
     ObliviousChase,
     RestrictedChase,
@@ -9,11 +10,30 @@ from .engine import (
     chase,
     satisfies,
 )
+from .matching import (
+    STRATEGIES,
+    IndexedTriggerSource,
+    JoinPlan,
+    NaiveTriggerSource,
+    TriggerSource,
+    has_homomorphism_indexed,
+    homomorphisms_indexed,
+    make_trigger_source,
+)
 from .result import ChaseLimits, ChaseResult
 from .triggers import Trigger, trigger_count, triggers_on
 
 __all__ = [
+    "BACKENDS",
+    "STRATEGIES",
     "ChaseEngine",
+    "IndexedTriggerSource",
+    "JoinPlan",
+    "NaiveTriggerSource",
+    "TriggerSource",
+    "has_homomorphism_indexed",
+    "homomorphisms_indexed",
+    "make_trigger_source",
     "ChaseLimits",
     "ChaseResult",
     "ObliviousChase",

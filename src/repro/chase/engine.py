@@ -13,6 +13,16 @@ differ only in the firing policy:
 * **restricted** — fire only when the head is not already satisfied by some
   extension of ``h|fr(σ)``.
 
+Orthogonally to the variant, every engine is parameterised by
+
+* a **trigger strategy** — ``"indexed"`` (default) runs the delta-driven
+  :class:`~repro.chase.matching.IndexedTriggerSource`; ``"naive"`` keeps the
+  seed enumeration as a reference implementation for differential testing;
+* a **store** — any :class:`~repro.storage.atom_store.AtomStore`; by default
+  an in-memory :class:`~repro.core.instances.Instance`, but the chase can
+  run directly against a :class:`~repro.storage.database.RelationalDatabase`
+  (``chase(..., backend="relational")``).
+
 The engines run under a :class:`~repro.chase.result.ChaseLimits` budget and
 report whether a fixpoint was reached.
 """
@@ -27,8 +37,12 @@ from ..core.substitutions import has_homomorphism
 from ..core.terms import NullFactory
 from ..core.tgds import TGD, TGDSet
 from ..exceptions import ChaseLimitExceeded
+from .matching import STRATEGIES, has_homomorphism_indexed, make_trigger_source
 from .result import ChaseLimits, ChaseResult
-from .triggers import Trigger, triggers_on
+from .triggers import Trigger
+
+#: Store backends accepted by :func:`chase`.
+BACKENDS = ("instance", "relational")
 
 
 class ChaseEngine:
@@ -38,17 +52,25 @@ class ChaseEngine:
     #: Null-naming policy forwarded to Trigger.result (see triggers module).
     null_scope = "frontier"
 
-    def __init__(self, limits: Optional[ChaseLimits] = None, on_limit: str = "return"):
+    def __init__(
+        self,
+        limits: Optional[ChaseLimits] = None,
+        on_limit: str = "return",
+        strategy: str = "indexed",
+    ):
         if on_limit not in ("return", "raise"):
             raise ValueError("on_limit must be 'return' or 'raise'")
+        if strategy not in STRATEGIES:
+            raise ValueError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
         self.limits = limits if limits is not None else ChaseLimits()
         self.on_limit = on_limit
+        self.strategy = strategy
 
     # ------------------------------------------------------------------ #
     # Variant-specific policy
 
-    def _should_fire(self, trigger: Trigger, instance: Instance, fired_keys: Set) -> bool:
-        """Return ``True`` when *trigger* must be fired on *instance*."""
+    def _should_fire(self, trigger: Trigger, store, fired_keys: Set) -> bool:
+        """Return ``True`` when *trigger* must be fired on *store*."""
         raise NotImplementedError
 
     def _firing_key(self, trigger: Trigger):
@@ -58,10 +80,19 @@ class ChaseEngine:
     # ------------------------------------------------------------------ #
     # Driver
 
-    def run(self, database: Database, tgds: TGDSet) -> ChaseResult:
-        """Run the chase of *database* with *tgds* under the configured budget."""
+    def run(self, database: Database, tgds: TGDSet, store=None) -> ChaseResult:
+        """Run the chase of *database* with *tgds* under the configured budget.
+
+        *store* is the :class:`~repro.storage.atom_store.AtomStore` the chase
+        materialises into; it defaults to a fresh in-memory
+        :class:`Instance`.  The store is seeded with the database facts.
+        """
         tgd_list = tuple(tgds)
-        instance = Instance(database.atoms())
+        if store is None:
+            store = Instance()
+        for atom in database.atoms():
+            store.add_atom(atom)
+        source = make_trigger_source(tgd_list, self.strategy)
         null_factory = NullFactory()
         fired_keys: Set = set()
 
@@ -73,39 +104,52 @@ class ChaseEngine:
         while True:
             if self.limits.round_budget_exceeded(rounds + 1):
                 return self._stopped(
-                    instance, rounds, atoms_created, triggers_fired, "max_rounds"
+                    store, rounds, atoms_created, triggers_fired, "max_rounds"
                 )
             new_atoms: Set[Atom] = set()
-            for trigger in triggers_on(tgd_list, instance, restrict_to_atoms=frontier_atoms):
+            if frontier_atoms is None:
+                trigger_iter = source.initial(store)
+            else:
+                trigger_iter = source.delta(store, frontier_atoms)
+            for trigger in trigger_iter:
                 key = self._firing_key(trigger)
                 if key in fired_keys:
                     continue
                 fired_keys.add(key)
-                if not self._should_fire(trigger, instance, fired_keys):
+                if not self._should_fire(trigger, store, fired_keys):
                     continue
                 triggers_fired += 1
                 for atom in trigger.result(null_factory, null_scope=self.null_scope):
-                    if atom not in instance and atom not in new_atoms:
+                    if atom not in new_atoms and not store.has_atom(atom):
                         new_atoms.add(atom)
             if not new_atoms:
                 return ChaseResult(
-                    instance=instance,
+                    instance=self._materialize(store),
                     terminated=True,
                     rounds=rounds,
                     atoms_created=atoms_created,
                     triggers_fired=triggers_fired,
                     stop_reason="fixpoint",
+                    store=store,
                 )
-            instance.add_all(new_atoms)
+            for atom in new_atoms:
+                store.add_atom(atom)
             atoms_created += len(new_atoms)
             rounds += 1
             frontier_atoms = new_atoms
-            if self.limits.atom_budget_exceeded(len(instance)):
+            if self.limits.atom_budget_exceeded(store.atom_count()):
                 return self._stopped(
-                    instance, rounds, atoms_created, triggers_fired, "max_atoms"
+                    store, rounds, atoms_created, triggers_fired, "max_atoms"
                 )
 
-    def _stopped(self, instance, rounds, atoms_created, triggers_fired, reason) -> ChaseResult:
+    @staticmethod
+    def _materialize(store) -> Instance:
+        """Return the chase result as an :class:`Instance` (identity for instances)."""
+        if isinstance(store, Instance):
+            return store
+        return store.to_instance()
+
+    def _stopped(self, store, rounds, atoms_created, triggers_fired, reason) -> ChaseResult:
         if self.on_limit == "raise":
             raise ChaseLimitExceeded(
                 f"{self.variant} chase exceeded its {reason} budget",
@@ -113,12 +157,13 @@ class ChaseEngine:
                 rounds=rounds,
             )
         return ChaseResult(
-            instance=instance,
+            instance=self._materialize(store),
             terminated=False,
             rounds=rounds,
             atoms_created=atoms_created,
             triggers_fired=triggers_fired,
             stop_reason=reason,
+            store=store,
         )
 
 
@@ -131,7 +176,7 @@ class ObliviousChase(ChaseEngine):
     def _firing_key(self, trigger: Trigger):
         return trigger.oblivious_key()
 
-    def _should_fire(self, trigger: Trigger, instance: Instance, fired_keys: Set) -> bool:
+    def _should_fire(self, trigger: Trigger, store, fired_keys: Set) -> bool:
         return True
 
 
@@ -143,7 +188,7 @@ class SemiObliviousChase(ChaseEngine):
     def _firing_key(self, trigger: Trigger):
         return trigger.semi_oblivious_key()
 
-    def _should_fire(self, trigger: Trigger, instance: Instance, fired_keys: Set) -> bool:
+    def _should_fire(self, trigger: Trigger, store, fired_keys: Set) -> bool:
         return True
 
 
@@ -153,13 +198,15 @@ class RestrictedChase(ChaseEngine):
     The head-satisfaction check looks for a homomorphism from the head atoms
     into the current instance that agrees with ``h`` on the frontier; this is
     the potentially expensive check the paper contrasts with the
-    semi-oblivious policy (Section 1.2).
+    semi-oblivious policy (Section 1.2).  Under the ``"indexed"`` strategy
+    the check runs through the same position-index lookups as trigger
+    enumeration instead of scanning whole predicate buckets.
 
     Note: the restricted chase is order-sensitive in general.  This engine
     fires all applicable triggers of a round against the instance as it was
-    at the *start* of the round plus the atoms added earlier in the same
-    round, which corresponds to one standard "fair" execution; it is intended
-    as a comparison baseline, not as a termination oracle.
+    at the *start* of the round, which corresponds to one standard "fair"
+    execution; it is intended as a comparison baseline, not as a termination
+    oracle.
     """
 
     variant = "restricted"
@@ -170,13 +217,14 @@ class RestrictedChase(ChaseEngine):
         # monotone), so memoising on the semi-oblivious key is sound.
         return trigger.semi_oblivious_key()
 
-    def _should_fire(self, trigger: Trigger, instance: Instance, fired_keys: Set) -> bool:
-        frontier = trigger.tgd.frontier()
+    def _should_fire(self, trigger: Trigger, store, fired_keys: Set) -> bool:
         base = {
             variable: trigger.homomorphism[variable]
-            for variable in frontier
+            for variable in trigger.tgd.frontier()
         }
-        return not has_homomorphism(trigger.tgd.head, instance, base=base)
+        if self.strategy == "indexed":
+            return not has_homomorphism_indexed(trigger.tgd.head, store, base=base)
+        return not has_homomorphism(trigger.tgd.head, store, base=base)
 
 
 def chase(
@@ -185,6 +233,9 @@ def chase(
     variant: str = "semi-oblivious",
     limits: Optional[ChaseLimits] = None,
     on_limit: str = "return",
+    strategy: str = "indexed",
+    backend: str = "instance",
+    store=None,
 ) -> ChaseResult:
     """Run the chase of *database* with *tgds*.
 
@@ -197,6 +248,17 @@ def chase(
     on_limit:
         ``"return"`` to return a non-terminated result when the budget is
         exhausted, ``"raise"`` to raise :class:`ChaseLimitExceeded`.
+    strategy:
+        ``"indexed"`` (default) for the delta-driven index-join trigger
+        engine, ``"naive"`` for the seed reference enumeration.
+    backend:
+        ``"instance"`` (default) materialises into an in-memory
+        :class:`Instance`; ``"relational"`` chases directly into a
+        :class:`~repro.storage.database.RelationalDatabase` (available on
+        ``ChaseResult.store``).
+    store:
+        An explicit :class:`~repro.storage.atom_store.AtomStore` to chase
+        into; overrides *backend*.
     """
     engines = {
         "oblivious": ObliviousChase,
@@ -210,7 +272,17 @@ def chase(
         raise ValueError(
             f"unknown chase variant {variant!r}; expected one of {sorted(set(engines))}"
         ) from None
-    return engine_class(limits=limits, on_limit=on_limit).run(database, tgds)
+    if store is None:
+        if backend == "relational":
+            from ..storage.database import RelationalDatabase
+
+            store = RelationalDatabase(name="chase")
+        elif backend != "instance":
+            raise ValueError(
+                f"unknown chase backend {backend!r}; expected one of {BACKENDS}"
+            )
+    engine = engine_class(limits=limits, on_limit=on_limit, strategy=strategy)
+    return engine.run(database, tgds, store=store)
 
 
 def satisfies(instance: Instance, tgds: Iterable[TGD]) -> bool:

@@ -1,0 +1,239 @@
+"""Indexed, delta-driven trigger matching (the semi-naive join subsystem).
+
+The naive reference path (:func:`repro.chase.triggers.triggers_on`) treats a
+round's trigger enumeration as a full backtracking join over whole
+per-predicate buckets and, for multi-atom bodies, enumerates *all*
+homomorphisms before post-filtering against the round's frontier.  This
+module replaces that with the two classic database techniques:
+
+* **index intersection** — candidate atoms for a body atom are resolved
+  through the store's ``(predicate, position, term)`` hash indexes
+  (:meth:`AtomStore.atoms_matching`) instead of bucket scans, and the join
+  order is chosen greedily by selectivity (most bound positions first,
+  smallest relation as tie-break);
+* **semi-naive (delta-driven) evaluation** — at round ``i`` every new
+  trigger must use at least one atom added in round ``i-1``, so the engine
+  *seeds* each compatible body-atom slot with each delta atom and joins
+  outward.  Homomorphisms that touch several delta atoms are produced
+  exactly once thanks to the standard ordering trick: when slot ``j`` is
+  the seed, slots before ``j`` may only match *old* (pre-delta) atoms.
+
+Both paths work against any :class:`repro.storage.atom_store.AtomStore`
+(:class:`~repro.core.instances.Instance` or
+:class:`~repro.storage.database.RelationalDatabase`), which is what lets the
+chase run unchanged over either backend.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.atoms import Atom
+from ..core.predicates import Predicate
+from ..core.substitutions import Substitution, match_atom
+from ..core.terms import Constant, Term
+from ..core.tgds import TGD
+from .triggers import Trigger, triggers_on
+
+#: Trigger-engine strategies accepted by the chase engines and ``chase()``.
+STRATEGIES = ("indexed", "naive")
+
+
+def _bound_positions(pattern: Atom, mapping: Dict[Term, Term]) -> Dict[int, Term]:
+    """Return the positions of *pattern* already determined by *mapping*.
+
+    Constants in the pattern bind their position directly; variables bind it
+    when *mapping* assigns them an image.
+    """
+    bindings: Dict[int, Term] = {}
+    for position, term in enumerate(pattern.terms):
+        if isinstance(term, Constant):
+            bindings[position] = term
+        else:
+            image = mapping.get(term)
+            if image is not None:
+                bindings[position] = image
+    return bindings
+
+
+def _join(
+    store,
+    patterns: Sequence[Atom],
+    remaining: Tuple[int, ...],
+    mapping: Dict[Term, Term],
+    delta: Optional[AbstractSet[Atom]],
+    seed_slot: int,
+) -> Iterator[Dict[Term, Term]]:
+    """Recursively extend *mapping* over the *remaining* slots of *patterns*.
+
+    The next slot is chosen greedily: most bound positions first, smallest
+    relation as tie-break.  When *delta* is given, slots before *seed_slot*
+    reject candidates from *delta* (the semi-naive dedup constraint).
+    """
+    if not remaining:
+        yield mapping
+        return
+    best = None
+    best_rank = None
+    for slot in remaining:
+        pattern = patterns[slot]
+        rank = (
+            -len(_bound_positions(pattern, mapping)),
+            store.predicate_cardinality(pattern.predicate),
+        )
+        if best_rank is None or rank < best_rank:
+            best, best_rank = slot, rank
+    rest = tuple(slot for slot in remaining if slot != best)
+    pattern = patterns[best]
+    candidates = store.atoms_matching(pattern.predicate, _bound_positions(pattern, mapping))
+    exclude_delta = delta is not None and best < seed_slot
+    for candidate in candidates:
+        if exclude_delta and candidate in delta:
+            continue
+        extended = match_atom(pattern, candidate, mapping)
+        if extended is not None:
+            yield from _join(store, patterns, rest, extended, delta, seed_slot)
+
+
+def homomorphisms_indexed(
+    atoms: Sequence[Atom],
+    store,
+    base: Optional[Dict[Term, Term]] = None,
+) -> Iterator[Substitution]:
+    """Enumerate homomorphisms from *atoms* into *store* via the position indexes.
+
+    Drop-in indexed replacement for
+    :func:`repro.core.substitutions.homomorphisms`; works against any
+    :class:`~repro.storage.atom_store.AtomStore`.
+    """
+    patterns = tuple(atoms)
+    for assignment in _join(
+        store, patterns, tuple(range(len(patterns))), dict(base or {}), None, -1
+    ):
+        yield Substitution(assignment)
+
+
+def has_homomorphism_indexed(
+    atoms: Sequence[Atom],
+    store,
+    base: Optional[Dict[Term, Term]] = None,
+) -> bool:
+    """Return ``True`` when some homomorphism from *atoms* into *store* exists."""
+    for _ in homomorphisms_indexed(atoms, store, base):
+        return True
+    return False
+
+
+class JoinPlan:
+    """Join strategy for matching a TGD body seeded at one body-atom slot.
+
+    A plan is built once per ``(body, slot)`` pair and reused across rounds;
+    executing it seeds the slot with a delta atom and resolves the remaining
+    body atoms by selectivity-ordered index intersection.
+    """
+
+    __slots__ = ("body", "seed_slot", "_others")
+
+    def __init__(self, body: Sequence[Atom], seed_slot: int):
+        self.body = tuple(body)
+        if not 0 <= seed_slot < len(self.body):
+            raise ValueError(f"seed slot {seed_slot} out of range for {len(self.body)}-atom body")
+        self.seed_slot = seed_slot
+        self._others = tuple(i for i in range(len(self.body)) if i != seed_slot)
+
+    def __repr__(self):
+        return f"JoinPlan(seed={self.body[self.seed_slot]!r}, body={len(self.body)} atoms)"
+
+    def matches(
+        self,
+        store,
+        seed_atom: Atom,
+        delta: Optional[AbstractSet[Atom]] = None,
+    ) -> Iterator[Dict[Term, Term]]:
+        """Yield the body homomorphisms that map the seed slot onto *seed_atom*.
+
+        With *delta* given, slots before the seed slot only match atoms
+        outside *delta*, so a homomorphism using several delta atoms is
+        reported only by the plan seeded at its first delta slot.
+        """
+        mapping = match_atom(self.body[self.seed_slot], seed_atom, None)
+        if mapping is None:
+            return
+        yield from _join(store, self.body, self._others, mapping, delta, self.seed_slot)
+
+
+class TriggerSource:
+    """Produces the triggers of each breadth-first chase round.
+
+    ``initial`` enumerates every trigger on the seed store (round 0);
+    ``delta`` enumerates only the triggers created by the atoms added in the
+    previous round.
+    """
+
+    def initial(self, store) -> Iterator[Trigger]:
+        raise NotImplementedError
+
+    def delta(self, store, new_atoms: Iterable[Atom]) -> Iterator[Trigger]:
+        raise NotImplementedError
+
+
+class NaiveTriggerSource(TriggerSource):
+    """The seed engine's enumeration, kept as the differential-testing reference."""
+
+    def __init__(self, tgds: Sequence[TGD]):
+        self.tgds = tuple(tgds)
+
+    def initial(self, store) -> Iterator[Trigger]:
+        return triggers_on(self.tgds, store)
+
+    def delta(self, store, new_atoms: Iterable[Atom]) -> Iterator[Trigger]:
+        return triggers_on(self.tgds, store, restrict_to_atoms=new_atoms)
+
+
+class IndexedTriggerSource(TriggerSource):
+    """Delta-driven enumeration through :class:`JoinPlan` index joins.
+
+    For every TGD body atom slot whose predicate matches a delta atom, the
+    precomputed plan for that slot is executed with the delta atom as seed.
+    This gives multi-atom bodies the same "only new triggers" guarantee the
+    naive path only had for linear TGDs.
+    """
+
+    def __init__(self, tgds: Sequence[TGD]):
+        self.tgds = tuple(tgds)
+        self._slots: Dict[Predicate, List[Tuple[int, TGD, JoinPlan]]] = {}
+        for index, tgd in enumerate(self.tgds):
+            for slot, atom in enumerate(tgd.body):
+                self._slots.setdefault(atom.predicate, []).append(
+                    (index, tgd, JoinPlan(tgd.body, slot))
+                )
+
+    def initial(self, store) -> Iterator[Trigger]:
+        for index, tgd in enumerate(self.tgds):
+            for substitution in homomorphisms_indexed(tgd.body, store):
+                yield Trigger(tgd, index, substitution)
+
+    def delta(self, store, new_atoms: Iterable[Atom]) -> Iterator[Trigger]:
+        delta = new_atoms if isinstance(new_atoms, (set, frozenset)) else set(new_atoms)
+        for atom in delta:
+            for index, tgd, plan in self._slots.get(atom.predicate, ()):
+                for mapping in plan.matches(store, atom, delta=delta):
+                    yield Trigger(tgd, index, Substitution(mapping))
+
+
+def make_trigger_source(tgds: Sequence[TGD], strategy: str = "indexed") -> TriggerSource:
+    """Build the :class:`TriggerSource` for *strategy* (``"indexed"`` or ``"naive"``)."""
+    if strategy == "indexed":
+        return IndexedTriggerSource(tgds)
+    if strategy == "naive":
+        return NaiveTriggerSource(tgds)
+    raise ValueError(f"unknown trigger strategy {strategy!r}; expected one of {STRATEGIES}")

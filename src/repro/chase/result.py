@@ -49,6 +49,10 @@ class ChaseResult:
         Number of triggers whose result was added to the instance.
     stop_reason:
         ``"fixpoint"``, ``"max_atoms"``, or ``"max_rounds"``.
+    store:
+        The :class:`~repro.storage.atom_store.AtomStore` the chase
+        materialised into (the instance itself for the default in-memory
+        backend, the relational store for ``backend="relational"``).
     """
 
     instance: Instance
@@ -57,6 +61,7 @@ class ChaseResult:
     atoms_created: int = 0
     triggers_fired: int = 0
     stop_reason: str = "fixpoint"
+    store: Optional[object] = None
 
     def __len__(self) -> int:
         return len(self.instance)

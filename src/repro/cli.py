@@ -4,6 +4,10 @@ Subcommands
 -----------
 ``check``
     Run a termination check on a rule file (and optional fact file).
+``chase``
+    Run one of the chase engines on a rule file (and optional fact file),
+    choosing the variant, the trigger strategy (indexed/naive), and the
+    store backend (instance/relational).
 ``run``
     Regenerate one of the paper's figures or tables and print its rows
     (optionally writing them to CSV).
@@ -15,6 +19,8 @@ Examples
 ::
 
     repro-experiments check --rules rules.txt --facts data.txt
+    repro-experiments chase --rules rules.txt --facts data.txt --variant restricted
+    repro-experiments chase --rules rules.txt --strategy naive --backend relational
     repro-experiments run figure1 --preset smoke
     repro-experiments run table2 --csv table2.csv
 """
@@ -23,8 +29,12 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
+from .chase.engine import BACKENDS, chase
+from .chase.matching import STRATEGIES
+from .chase.result import ChaseLimits
 from .core.instances import Database, induced_database
 from .core.parser import load_database, load_rules
 from .experiments import (
@@ -53,6 +63,30 @@ def _build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="which checker to run (auto picks SL when the rules are simple-linear)",
     )
+
+    chase_cmd = subparsers.add_parser("chase", help="run a chase engine on a rule file")
+    chase_cmd.add_argument("--rules", required=True, help="path to the rule file")
+    chase_cmd.add_argument("--facts", help="path to the fact file (defaults to the induced database)")
+    chase_cmd.add_argument(
+        "--variant",
+        choices=("oblivious", "semi-oblivious", "restricted"),
+        default="semi-oblivious",
+        help="chase variant (default: semi-oblivious)",
+    )
+    chase_cmd.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="indexed",
+        help="trigger engine: delta-driven index joins or the naive reference (default: indexed)",
+    )
+    chase_cmd.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="instance",
+        help="store backend the chase materialises into (default: instance)",
+    )
+    chase_cmd.add_argument("--max-atoms", type=int, default=100_000, help="atom budget (default: 100000)")
+    chase_cmd.add_argument("--max-rounds", type=int, help="round budget (default: unlimited)")
 
     run = subparsers.add_parser("run", help="regenerate a figure, table, or ablation")
     run.add_argument("experiment", help="experiment id (see 'list')")
@@ -90,6 +124,35 @@ def _command_check(args) -> int:
         print(f"  {key}: {value}")
     for key, value in report.timings.as_dict().items():
         print(f"  {key}: {value * 1000:.2f} ms")
+    return 0
+
+
+def _command_chase(args) -> int:
+    tgds = load_rules(args.rules)
+    if args.facts:
+        database = load_database(args.facts)
+    else:
+        database = induced_database(tgds)
+
+    limits = ChaseLimits(max_atoms=args.max_atoms, max_rounds=args.max_rounds)
+    start = time.perf_counter()
+    result = chase(
+        database,
+        tgds,
+        variant=args.variant,
+        limits=limits,
+        strategy=args.strategy,
+        backend=args.backend,
+    )
+    elapsed = time.perf_counter() - start
+
+    status = "reached a fixpoint" if result.terminated else f"stopped ({result.stop_reason})"
+    print(f"{args.variant} chase [{args.strategy}/{args.backend}]: {status}")
+    print(f"  rounds: {result.rounds}")
+    print(f"  triggers_fired: {result.triggers_fired}")
+    print(f"  atoms_created: {result.atoms_created}")
+    print(f"  instance_size: {len(result.instance)}")
+    print(f"  elapsed: {elapsed * 1000:.2f} ms")
     return 0
 
 
@@ -132,6 +195,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "check":
         return _command_check(args)
+    if args.command == "chase":
+        return _command_chase(args)
     if args.command == "run":
         return _command_run(args)
     if args.command == "list":

@@ -1,0 +1,60 @@
+"""Positional hash indexing shared by every :class:`AtomStore` backend.
+
+A :class:`PositionIndex` maps ``(position, term)`` pairs to the atoms of one
+predicate holding *term* at *position*.  Both the in-memory
+:class:`~repro.core.instances.Instance` and the relational backend keep one
+per predicate (built lazily on the first indexed lookup, then maintained
+incrementally), and the trigger engine's join resolves candidates through
+:meth:`lookup` instead of scanning whole predicate buckets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from .atoms import Atom
+from .terms import Term
+
+
+class PositionIndex:
+    """Hash index on ``(position, term)`` for the atoms of one predicate."""
+
+    __slots__ = ("_postings",)
+
+    def __init__(self, atoms: Iterable[Atom] = ()):
+        self._postings: Dict[Tuple[int, Term], Set[Atom]] = {}
+        for atom in atoms:
+            self.register(atom)
+
+    def register(self, atom: Atom) -> None:
+        """Index *atom* under every ``(position, term)`` pair it realises."""
+        postings = self._postings
+        for position, term in enumerate(atom.terms):
+            entry = postings.get((position, term))
+            if entry is None:
+                postings[(position, term)] = {atom}
+            else:
+                entry.add(atom)
+
+    def lookup(self, bindings) -> Union[Set[Atom], List[Atom], Tuple]:
+        """Return the indexed atoms matching the non-empty positional *bindings*.
+
+        The smallest posting list is scanned and the remaining bindings are
+        checked directly on each candidate.  The returned collection must be
+        treated as read-only.
+        """
+        smallest: Optional[Set[Atom]] = None
+        for position, term in bindings.items():
+            posting = self._postings.get((position, term))
+            if not posting:
+                return ()
+            if smallest is None or len(posting) < len(smallest):
+                smallest = posting
+        if len(bindings) == 1:
+            return smallest
+        items = tuple(bindings.items())
+        return [
+            atom
+            for atom in smallest
+            if all(atom.terms[position] == term for position, term in items)
+        ]

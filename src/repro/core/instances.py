@@ -8,10 +8,11 @@ chase starts from a database and produces an instance.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
 from ..exceptions import ValidationError
 from .atoms import Atom
+from .indexing import PositionIndex
 from .predicates import Predicate, Schema
 from .terms import Constant, Null, Term
 
@@ -22,11 +23,32 @@ class Instance:
     The per-predicate index is what makes trigger enumeration for linear
     TGDs (one body atom) linear in the number of matching atoms rather than
     in the size of the whole instance.
+
+    On top of the predicate buckets the instance maintains two further
+    structures used by the indexed trigger engine
+    (:mod:`repro.chase.matching`):
+
+    * **position indexes** — for each predicate, a lazily-built hash index
+      mapping ``(position, term)`` to the atoms holding *term* at
+      *position*; once built for a predicate it is maintained
+      incrementally on every ``add``;
+    * an **incremental term index** — the sets of constants and nulls
+      occurring in the instance, updated on ``add`` so that ``domain()``/
+      ``constants()``/``nulls()`` never rescan the atoms.
+
+    The class structurally implements the
+    :class:`repro.storage.atom_store.AtomStore` protocol, which is the
+    store interface the chase engines run against.
     """
 
     def __init__(self, atoms: Iterable[Atom] = ()):
         self._by_predicate: Dict[Predicate, Set[Atom]] = defaultdict(set)
         self._size = 0
+        self._constants: Set[Constant] = set()
+        self._nulls: Set[Null] = set()
+        # Built on the first indexed lookup for a predicate, then kept up
+        # to date by every add.
+        self._position_index: Dict[Predicate, PositionIndex] = {}
         self.add_all(atoms)
 
     # ------------------------------------------------------------------ #
@@ -41,6 +63,14 @@ class Instance:
             return False
         bucket.add(atom)
         self._size += 1
+        for term in atom.terms:
+            if isinstance(term, Null):
+                self._nulls.add(term)
+            else:
+                self._constants.add(term)
+        index = self._position_index.get(atom.predicate)
+        if index is not None:
+            index.register(atom)
         return True
 
     def add_all(self, atoms: Iterable[Atom]) -> int:
@@ -77,6 +107,55 @@ class Instance:
         """Return the atoms whose predicate is *predicate* (possibly empty)."""
         return frozenset(self._by_predicate.get(predicate, frozenset()))
 
+    def predicate_cardinality(self, predicate: Predicate) -> int:
+        """Return ``|R^I|``: the number of atoms over *predicate* (cached)."""
+        bucket = self._by_predicate.get(predicate)
+        return 0 if bucket is None else len(bucket)
+
+    def _ensure_position_index(self, predicate: Predicate) -> PositionIndex:
+        index = self._position_index.get(predicate)
+        if index is None:
+            index = PositionIndex(self._by_predicate.get(predicate, ()))
+            self._position_index[predicate] = index
+        return index
+
+    def atoms_matching(
+        self, predicate: Predicate, bindings: Optional[Mapping[int, Term]] = None
+    ) -> Iterable[Atom]:
+        """Return the atoms over *predicate* whose term at each position of
+        *bindings* equals the bound term.
+
+        *bindings* maps 0-based argument positions to ground terms; the
+        lookup goes through the predicate's :class:`PositionIndex`.  The
+        returned collection must be treated as read-only.
+        """
+        bucket = self._by_predicate.get(predicate)
+        if not bucket:
+            return ()
+        if not bindings:
+            return bucket
+        return self._ensure_position_index(predicate).lookup(bindings)
+
+    # ------------------------------------------------------------------ #
+    # AtomStore protocol surface (see repro.storage.atom_store)
+
+    def add_atom(self, atom: Atom) -> bool:
+        """AtomStore alias for :meth:`add`."""
+        return self.add(atom)
+
+    def has_atom(self, atom: Atom) -> bool:
+        """AtomStore alias for ``atom in self``."""
+        return atom in self
+
+    def iter_atoms(self) -> Iterator[Atom]:
+        """Iterate over all atoms without the sorted-order guarantee of ``__iter__``."""
+        for bucket in self._by_predicate.values():
+            yield from bucket
+
+    def atom_count(self) -> int:
+        """AtomStore alias for ``len(self)``."""
+        return self._size
+
     def predicates(self) -> FrozenSet[Predicate]:
         """Return the predicates that have at least one atom."""
         return frozenset(p for p, bucket in self._by_predicate.items() if bucket)
@@ -86,20 +165,20 @@ class Instance:
         return Schema(self.predicates())
 
     def domain(self) -> FrozenSet[Term]:
-        """Return ``dom(I)``: the constants and nulls occurring in the instance."""
-        result: Set[Term] = set()
-        for bucket in self._by_predicate.values():
-            for atom in bucket:
-                result.update(atom.terms)
-        return frozenset(result)
+        """Return ``dom(I)``: the constants and nulls occurring in the instance.
+
+        Answered from the incremental term index maintained by :meth:`add`,
+        so it costs one set copy instead of a scan over every atom.
+        """
+        return frozenset(self._constants) | frozenset(self._nulls)
 
     def constants(self) -> FrozenSet[Constant]:
         """Return the constants occurring in the instance."""
-        return frozenset(t for t in self.domain() if isinstance(t, Constant))
+        return frozenset(self._constants)
 
     def nulls(self) -> FrozenSet[Null]:
         """Return the labeled nulls occurring in the instance."""
-        return frozenset(t for t in self.domain() if isinstance(t, Null))
+        return frozenset(self._nulls)
 
     def copy(self) -> "Instance":
         """Return a shallow copy (atoms are immutable so this is safe)."""
@@ -107,6 +186,9 @@ class Instance:
         for predicate, bucket in self._by_predicate.items():
             clone._by_predicate[predicate] = set(bucket)
             clone._size += len(bucket)
+        clone._constants = set(self._constants)
+        clone._nulls = set(self._nulls)
+        # Position indexes are rebuilt lazily on the clone.
         return clone
 
 

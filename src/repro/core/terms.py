@@ -12,6 +12,7 @@ rely on this heavily).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Union
 
 
@@ -113,6 +114,13 @@ class NullFactory:
     twice for the same key returns the *same* null object, which is what
     makes the semi-oblivious chase apply each TGD at most once per frontier
     witness.
+
+    Keyed nulls are *content-addressed*: the name is derived from the key
+    itself rather than from a creation counter, so two chase runs that invent
+    the same witnesses produce identically named nulls regardless of the
+    order in which triggers were enumerated.  This is what lets the
+    delta-driven trigger engine (and any future parallel/sharded chase) be
+    compared atom-for-atom against the naive reference engine.
     """
 
     def __init__(self, prefix="n"):
@@ -129,9 +137,18 @@ class NullFactory:
         return Null(f"{self._prefix}{self._counter}")
 
     def for_key(self, key):
-        """Return the null associated with *key*, creating it on first use."""
+        """Return the null associated with *key*, creating it on first use.
+
+        The null's name is a stable digest of *key*, so it does not depend on
+        how many nulls the factory has produced before.  Keys must have a
+        deterministic ``repr`` (tuples of terms, strings, and ints do).
+        """
         null = self._by_key.get(key)
         if null is None:
-            null = self.fresh()
+            digest = hashlib.blake2b(repr(key).encode("utf-8"), digest_size=9).hexdigest()
+            null = Null(f"{self._prefix}_{digest}")
             self._by_key[key] = null
+            # __len__ counts keyed nulls too (digest names never collide
+            # with the counter-named fresh() nulls).
+            self._counter += 1
         return null

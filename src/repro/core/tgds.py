@@ -35,7 +35,16 @@ class TGD:
         Optional human-readable label used by parsers and generators.
     """
 
-    __slots__ = ("body", "head", "label", "_hash")
+    __slots__ = (
+        "body",
+        "head",
+        "label",
+        "_hash",
+        "_body_variables",
+        "_head_variables",
+        "_frontier",
+        "_existential",
+    )
 
     def __init__(self, body: Iterable[Atom], head: Iterable[Atom], label: Optional[str] = None):
         body = tuple(body)
@@ -58,6 +67,15 @@ class TGD:
         object.__setattr__(self, "head", head)
         object.__setattr__(self, "label", label)
         object.__setattr__(self, "_hash", hash((body, head)))
+        # The variable sets are queried for every trigger the chase fires
+        # (firing keys, null naming), so they are computed once here; TGDs
+        # are immutable, which makes the caching safe.
+        body_variables = frozenset(variables_of(body))
+        head_variables = frozenset(variables_of(head))
+        object.__setattr__(self, "_body_variables", body_variables)
+        object.__setattr__(self, "_head_variables", head_variables)
+        object.__setattr__(self, "_frontier", body_variables & head_variables)
+        object.__setattr__(self, "_existential", head_variables - body_variables)
 
     def __setattr__(self, key, value):
         raise AttributeError("TGD is immutable")
@@ -81,21 +99,21 @@ class TGD:
     # ------------------------------------------------------------------ #
     # Variable sets
 
-    def body_variables(self) -> Set[Variable]:
+    def body_variables(self) -> FrozenSet[Variable]:
         """Return the variables occurring in the body."""
-        return variables_of(self.body)
+        return self._body_variables
 
-    def head_variables(self) -> Set[Variable]:
+    def head_variables(self) -> FrozenSet[Variable]:
         """Return the variables occurring in the head."""
-        return variables_of(self.head)
+        return self._head_variables
 
     def frontier(self) -> FrozenSet[Variable]:
         """Return ``fr(σ)``: variables occurring both in the body and in the head."""
-        return frozenset(self.body_variables() & self.head_variables())
+        return self._frontier
 
     def existential_variables(self) -> FrozenSet[Variable]:
         """Return the existentially quantified variables (head-only variables)."""
-        return frozenset(self.head_variables() - self.body_variables())
+        return self._existential
 
     def has_empty_frontier(self) -> bool:
         """Return ``True`` when no variable is shared between body and head."""

@@ -1,5 +1,6 @@
 """Relational storage substrate: relations, catalog, prefix views, shape queries."""
 
+from .atom_store import AtomStore
 from .database import RelationalDatabase
 from .queries import (
     disequality_condition_pairs,
@@ -18,6 +19,7 @@ from .shape_finder import (
 from .views import PrefixView
 
 __all__ = [
+    "AtomStore",
     "InDatabaseShapeFinder",
     "InMemoryShapeFinder",
     "PrefixView",

@@ -1,0 +1,72 @@
+"""The ``AtomStore`` protocol: the storage interface the chase runs against.
+
+Historically the chase engines worked directly on
+:class:`repro.core.instances.Instance` while the ``FindShapes`` machinery of
+the termination checkers used :class:`repro.storage.database.RelationalDatabase`
+— two disjoint stores with incompatible APIs.  ``AtomStore`` closes that
+split: it names the small set of operations the trigger engine
+(:mod:`repro.chase.matching`) needs, and both stores implement it, so a chase
+can run in memory or directly against the relational backend (and future
+backends only have to provide these eight methods).
+
+The protocol is *structural* (:class:`typing.Protocol`):
+``core.Instance`` implements it without importing this module, which keeps
+the ``core`` → ``storage`` dependency direction intact.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Iterable, Iterator, Mapping, Optional, Protocol, runtime_checkable
+
+from ..core.atoms import Atom
+from ..core.predicates import Predicate
+from ..core.terms import Term
+
+
+@runtime_checkable
+class AtomStore(Protocol):
+    """A mutable set of ground atoms with indexed positional access.
+
+    Implementations must treat atoms as immutable values and must return
+    read-only collections from the query methods (callers never mutate
+    them).  ``atoms_matching`` is the work-horse: the indexed join resolves
+    every candidate lookup through it.
+    """
+
+    def add_atom(self, atom: Atom) -> bool:
+        """Add *atom*; return ``True`` when it was not already present."""
+        ...
+
+    def has_atom(self, atom: Atom) -> bool:
+        """Return ``True`` when *atom* is in the store."""
+        ...
+
+    def iter_atoms(self) -> Iterator[Atom]:
+        """Iterate over all atoms (no ordering guarantee)."""
+        ...
+
+    def atom_count(self) -> int:
+        """Return the number of (distinct) atoms in the store."""
+        ...
+
+    def atoms_with_predicate(self, predicate: Predicate) -> Collection[Atom]:
+        """Return the atoms over *predicate* (possibly empty)."""
+        ...
+
+    def atoms_matching(
+        self, predicate: Predicate, bindings: Optional[Mapping[int, Term]] = None
+    ) -> Iterable[Atom]:
+        """Return the atoms over *predicate* matching the positional *bindings*.
+
+        *bindings* maps 0-based argument positions to ground terms; ``None``
+        or an empty mapping selects the whole relation.
+        """
+        ...
+
+    def predicate_cardinality(self, predicate: Predicate) -> int:
+        """Return the number of atoms over *predicate* (used for join ordering)."""
+        ...
+
+    def predicates(self) -> Collection[Predicate]:
+        """Return the predicates with at least one atom."""
+        ...

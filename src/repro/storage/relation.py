@@ -13,10 +13,42 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.atoms import Atom
 from ..core.predicates import Predicate
-from ..core.terms import Constant
+from ..core.terms import Constant, GroundTerm, Null
 from ..exceptions import StorageError
 
 Row = Tuple[str, ...]
+
+#: Prefix marking a stored value as a labeled null (mirrors ``Null.__str__``).
+NULL_MARKER = "_:"
+
+#: Prefix escaping constants whose own name would collide with a marker.
+ESCAPE_MARKER = "_e:"
+
+
+def encode_term(term: GroundTerm) -> str:
+    """Encode a ground term as a stored string value.
+
+    Constants are stored by name; labeled nulls are prefixed with
+    ``NULL_MARKER`` so that chase-produced atoms survive a round-trip through
+    the relational backend with their null identity intact.  The rare
+    constant whose name itself starts with a marker is escaped with
+    ``ESCAPE_MARKER``, keeping the encoding injective.
+    """
+    if isinstance(term, Null):
+        return f"{NULL_MARKER}{term.name}"
+    name = term.name
+    if name.startswith((NULL_MARKER, ESCAPE_MARKER)):
+        return f"{ESCAPE_MARKER}{name}"
+    return name
+
+
+def decode_value(value: str) -> GroundTerm:
+    """Decode a stored string value back into a :class:`Constant` or :class:`Null`."""
+    if value.startswith(ESCAPE_MARKER):
+        return Constant(value[len(ESCAPE_MARKER):])
+    if value.startswith(NULL_MARKER):
+        return Null(value[len(NULL_MARKER):])
+    return Constant(value)
 
 
 class Relation:
@@ -53,12 +85,12 @@ class Relation:
         return count
 
     def insert_atom(self, atom: Atom) -> None:
-        """Append the tuple of an atom's constant arguments."""
+        """Append the tuple of an atom's ground arguments (nulls are encoded)."""
         if atom.predicate != self.predicate:
             raise StorageError(
                 f"atom {atom!r} does not belong to relation {self.predicate}"
             )
-        self.insert(tuple(term.name for term in atom.terms))
+        self.insert(tuple(encode_term(term) for term in atom.terms))
 
     # ------------------------------------------------------------------ #
     # Scans
@@ -103,9 +135,9 @@ class Relation:
             yield buffer
 
     def atoms(self, limit: Optional[int] = None) -> Iterator[Atom]:
-        """Scan the rows as atoms (constants named after the stored strings)."""
+        """Scan the rows as atoms (decoding stored values back into terms)."""
         for row in self.rows(limit=limit):
-            yield Atom(self.predicate, tuple(Constant(value) for value in row))
+            yield Atom(self.predicate, tuple(decode_value(value) for value in row))
 
     def is_empty(self) -> bool:
         """Return ``True`` when the relation has no tuples."""

@@ -1,0 +1,144 @@
+"""Tests for the AtomStore protocol and its two implementations."""
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.instances import Instance
+from repro.core.parser import parse_database
+from repro.core.predicates import Predicate
+from repro.core.terms import Constant, Null, Variable
+from repro.exceptions import ValidationError
+from repro.storage.atom_store import AtomStore
+from repro.storage.database import RelationalDatabase
+from repro.storage.relation import decode_value, encode_term
+
+R = Predicate("R", 2)
+
+
+class TestProtocol:
+    def test_both_stores_implement_the_protocol(self):
+        assert isinstance(Instance(), AtomStore)
+        assert isinstance(RelationalDatabase(), AtomStore)
+
+
+class TestTermEncoding:
+    def test_constants_round_trip(self):
+        assert decode_value(encode_term(Constant("a"))) == Constant("a")
+
+    def test_nulls_round_trip(self):
+        assert decode_value(encode_term(Null("n42"))) == Null("n42")
+
+    def test_null_encoding_is_distinct_from_constants(self):
+        assert encode_term(Null("a")) != encode_term(Constant("a"))
+
+    def test_marker_shaped_constants_round_trip(self):
+        # A constant whose own name looks like an encoded null (or an
+        # escaped value) must not mutate into a Null on decode.
+        for name in ("_:x", "_e:x", "_:_e:x", "_e:_:x"):
+            assert decode_value(encode_term(Constant(name))) == Constant(name)
+            assert decode_value(encode_term(Null(name))) == Null(name)
+
+    def test_marker_shaped_constants_survive_the_store(self):
+        store = RelationalDatabase()
+        tricky = Atom(R, (Constant("_:x"), Null("x")))
+        store.add_atom(tricky)
+        assert store.has_atom(tricky)
+        assert set(store.iter_atoms()) == {tricky}
+
+
+class TestRelationalAtomStore:
+    def test_add_atom_deduplicates(self):
+        store = RelationalDatabase()
+        atom = Atom(R, (Constant("a"), Constant("b")))
+        assert store.add_atom(atom)
+        assert not store.add_atom(atom)
+        assert store.atom_count() == 1
+        assert store.has_atom(atom)
+        assert list(store.iter_atoms()) == [atom]
+
+    def test_add_atom_rejects_non_ground(self):
+        with pytest.raises(ValidationError):
+            RelationalDatabase().add_atom(Atom(R, (Variable("x"), Constant("b"))))
+
+    def test_nulls_survive_storage(self):
+        store = RelationalDatabase()
+        atom = Atom(R, (Constant("a"), Null("n1")))
+        store.add_atom(atom)
+        assert store.has_atom(atom)
+        assert not store.has_atom(Atom(R, (Constant("a"), Constant("n1"))))
+        assert store.to_instance() == Instance([atom])
+
+    def test_cache_picks_up_raw_inserts(self):
+        store = RelationalDatabase()
+        store.create_relation(R)
+        atom = Atom(R, (Constant("a"), Constant("b")))
+        assert not store.has_atom(atom)
+        store.insert("R", ("a", "b"))
+        assert store.has_atom(atom)
+        assert store.predicate_cardinality(R) == 1
+
+    def test_atoms_matching_uses_position_bindings(self):
+        store = RelationalDatabase.from_database(
+            parse_database("R(a,b).\nR(a,c).\nR(b,c).")
+        )
+        hits = list(store.atoms_matching(R, {0: Constant("a")}))
+        assert len(hits) == 2
+        hits = list(store.atoms_matching(R, {0: Constant("a"), 1: Constant("c")}))
+        assert hits == [Atom(R, (Constant("a"), Constant("c")))]
+        assert list(store.atoms_matching(R, {1: Constant("z")})) == []
+        assert list(store.atoms_matching(Predicate("S", 1), {0: Constant("a")})) == []
+
+    def test_arity_mismatch_is_empty_not_error(self):
+        store = RelationalDatabase.from_database(parse_database("R(a,b)."))
+        assert list(store.atoms_matching(Predicate("R", 3))) == []
+        assert store.predicate_cardinality(Predicate("R", 3)) == 0
+
+    def test_drop_relation_clears_the_cache(self):
+        store = RelationalDatabase.from_database(parse_database("R(a,b)."))
+        atom = Atom(R, (Constant("a"), Constant("b")))
+        assert store.has_atom(atom)
+        store.drop_relation("R")
+        assert not store.has_atom(atom)
+        assert store.atom_count() == 0
+
+
+class TestInstanceAtomStore:
+    def test_atoms_matching(self):
+        instance = Instance(parse_database("R(a,b).\nR(a,c).\nR(b,c).").atoms())
+        hits = set(instance.atoms_matching(R, {0: Constant("a")}))
+        assert hits == {
+            Atom(R, (Constant("a"), Constant("b"))),
+            Atom(R, (Constant("a"), Constant("c"))),
+        }
+        assert list(instance.atoms_matching(R, {0: Constant("z")})) == []
+        assert set(instance.atoms_matching(R)) == set(instance.atoms())
+
+    def test_index_is_maintained_incrementally_after_first_use(self):
+        instance = Instance(parse_database("R(a,b).").atoms())
+        assert len(list(instance.atoms_matching(R, {0: Constant("a")}))) == 1
+        # The index for R is now built; later adds must keep it fresh.
+        instance.add(Atom(R, (Constant("a"), Constant("z"))))
+        assert len(list(instance.atoms_matching(R, {0: Constant("a")}))) == 2
+
+    def test_predicate_cardinality(self):
+        instance = Instance(parse_database("R(a,b).\nR(b,c).").atoms())
+        assert instance.predicate_cardinality(R) == 2
+        assert instance.predicate_cardinality(Predicate("S", 1)) == 0
+
+    def test_term_index_is_incremental(self):
+        instance = Instance()
+        instance.add(Atom(R, (Constant("a"), Null("n1"))))
+        assert instance.constants() == {Constant("a")}
+        assert instance.nulls() == {Null("n1")}
+        instance.add(Atom(R, (Constant("b"), Constant("a"))))
+        assert instance.constants() == {Constant("a"), Constant("b")}
+        assert instance.domain() == {Constant("a"), Constant("b"), Null("n1")}
+
+    def test_copy_preserves_term_index_and_rebuilds_position_index(self):
+        instance = Instance(parse_database("R(a,b).").atoms())
+        list(instance.atoms_matching(R, {0: Constant("a")}))
+        clone = instance.copy()
+        assert clone.constants() == instance.constants()
+        clone.add(Atom(R, (Constant("a"), Constant("x"))))
+        assert len(list(clone.atoms_matching(R, {0: Constant("a")}))) == 2
+        assert len(list(instance.atoms_matching(R, {0: Constant("a")}))) == 1

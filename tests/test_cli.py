@@ -50,6 +50,46 @@ class TestCheckCommand:
         assert "IsChaseFinite[L]" in capsys.readouterr().out
 
 
+class TestChaseCommand:
+    @pytest.fixture
+    def join_rule_file(self, tmp_path):
+        path = tmp_path / "join_rules.txt"
+        path.write_text("R(x,y) -> S(y,z)\nS(x,y), R(z,x) -> T(z,y)\n")
+        return path
+
+    def test_chase_with_facts(self, join_rule_file, fact_file, capsys):
+        assert main(["chase", "--rules", str(join_rule_file), "--facts", str(fact_file)]) == 0
+        output = capsys.readouterr().out
+        assert "reached a fixpoint" in output
+        assert "instance_size" in output
+
+    def test_chase_strategy_and_backend_flags(self, join_rule_file, fact_file, capsys):
+        for strategy in ("indexed", "naive"):
+            for backend in ("instance", "relational"):
+                code = main(
+                    [
+                        "chase",
+                        "--rules", str(join_rule_file),
+                        "--facts", str(fact_file),
+                        "--strategy", strategy,
+                        "--backend", backend,
+                    ]
+                )
+                assert code == 0
+                assert f"[{strategy}/{backend}]" in capsys.readouterr().out
+
+    def test_chase_budget_stop(self, rule_file, fact_file, capsys):
+        code = main(
+            ["chase", "--rules", str(rule_file), "--facts", str(fact_file), "--max-atoms", "20"]
+        )
+        assert code == 0
+        assert "stopped (max_atoms)" in capsys.readouterr().out
+
+    def test_chase_induced_database_default(self, join_rule_file, capsys):
+        assert main(["chase", "--rules", str(join_rule_file), "--variant", "restricted"]) == 0
+        assert "restricted chase" in capsys.readouterr().out
+
+
 class TestRunCommand:
     def test_unknown_experiment(self, capsys):
         assert main(["run", "figure99"]) == 2
