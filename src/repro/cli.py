@@ -11,6 +11,10 @@ Subcommands
 ``run``
     Regenerate one of the paper's figures or tables and print its rows
     (optionally writing them to CSV).
+``sweep``
+    Run the parallel, checkpointed workload sweep: the simple-linear grid
+    and/or the linear prefix-view ladder, fanned across a process pool,
+    resumable from a JSONL checkpoint.
 ``list``
     List the available experiments and presets.
 
@@ -23,6 +27,8 @@ Examples
     repro-experiments chase --rules rules.txt --strategy naive --backend relational
     repro-experiments run figure1 --preset smoke
     repro-experiments run table2 --csv table2.csv
+    repro-experiments sweep --preset smoke --workers 4 --checkpoint sweep.jsonl
+    repro-experiments sweep --kinds l --from-scratch --csv sweep.csv
 """
 
 from __future__ import annotations
@@ -43,7 +49,9 @@ from .experiments import (
     PRESETS,
     preset,
 )
+from .exceptions import ExperimentConfigError
 from .experiments.reporting import format_table, summarize_figure, write_csv
+from .experiments.runner import SWEEP_KINDS, run_sweep, sweep_summary
 from .termination import is_chase_finite_l, is_chase_finite_sl
 
 
@@ -98,6 +106,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "--scenarios",
         help="comma-separated scenario names for table runs (default: all laptop-sized scenarios)",
     )
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run the parallel, checkpointed workload sweep"
+    )
+    sweep.add_argument("--preset", default="smoke", choices=sorted(PRESETS), help="scale preset")
+    sweep.add_argument(
+        "--workers", type=int, default=1, help="process-pool size (default: 1, in-process)"
+    )
+    sweep.add_argument(
+        "--kinds",
+        default=",".join(SWEEP_KINDS),
+        help="comma-separated workload kinds: sl, l (default: both)",
+    )
+    sweep.add_argument(
+        "--checkpoint",
+        help="JSONL checkpoint file; an interrupted sweep resumes from it",
+    )
+    sweep.add_argument(
+        "--from-scratch",
+        action="store_true",
+        help="disable incremental prefix-view reuse (the paper's per-view pipeline)",
+    )
+    sweep.add_argument(
+        "--limit",
+        type=int,
+        help="stop after this many tasks (the checkpoint stays resumable; "
+        "exit code 3 signals that tasks remain pending)",
+    )
+    sweep.add_argument("--csv", help="write the raw rows (timings included) to this CSV file")
+    sweep.add_argument("--raw", action="store_true", help="print raw rows instead of the aggregate tables")
 
     subparsers.add_parser("list", help="list available experiments and presets")
     return parser
@@ -179,6 +217,51 @@ def _command_run(args) -> int:
     return 0
 
 
+def _command_sweep(args) -> int:
+    kinds = tuple(kind.strip() for kind in args.kinds.split(",") if kind.strip())
+    unknown = [kind for kind in kinds if kind not in SWEEP_KINDS]
+    if unknown or not kinds:
+        print(
+            f"unknown sweep kind(s) {','.join(unknown) or '(none)'}; "
+            f"expected a comma-separated subset of {','.join(SWEEP_KINDS)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.limit is not None and args.limit < 1:
+        print("--limit must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        result = run_sweep(
+            preset(args.preset),
+            kinds=kinds,
+            workers=args.workers,
+            checkpoint_path=args.checkpoint,
+            incremental=not args.from_scratch,
+            max_tasks=args.limit,
+            progress=print,
+        )
+    except ExperimentConfigError as error:
+        print(f"sweep failed: {error}", file=sys.stderr)
+        return 2
+    if args.csv:
+        write_csv(result.rows, args.csv)
+        print(f"wrote {len(result.rows)} rows to {args.csv}")
+    if args.raw:
+        print(format_table(result.rows, title="sweep"))
+    else:
+        print(sweep_summary(result.rows))
+    mode = "incremental" if result.incremental else "from-scratch"
+    print(
+        f"sweep [{mode}]: {len(result.completed_task_ids)} task(s) done "
+        f"({len(result.resumed_task_ids)} resumed), {len(result.pending_task_ids)} pending, "
+        f"{result.elapsed_seconds:.2f} s with {result.workers} worker(s)"
+    )
+    return 0 if result.finished else 3
+
+
 def _command_list() -> int:
     print("experiments:")
     for name in sorted({**ALL_RUNNERS, **ABLATION_RUNNERS}):
@@ -199,6 +282,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_chase(args)
     if args.command == "run":
         return _command_run(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
     if args.command == "list":
         return _command_list()
     parser.print_help()

@@ -114,8 +114,8 @@ def parse_atom(text: str, as_variable: bool = True, schema: Optional[Schema] = N
         raise ParseError(f"malformed atom {text!r}: missing predicate name")
     args_text = text[open_index + 1 : -1]
     arg_tokens = _split_top_level(args_text)
-    if not arg_tokens:
-        raise ParseError(f"malformed atom {text!r}: predicates must have arity >= 1")
+    if not arg_tokens and args_text.strip():
+        raise ParseError(f"malformed atom {text!r}")
     terms = tuple(_parse_term(token, as_variable) for token in arg_tokens)
     predicate = Predicate(name, len(terms))
     if schema is not None:

@@ -24,9 +24,9 @@ class Predicate:
     def __post_init__(self):
         if not self.name:
             raise ValidationError("predicate name must be non-empty")
-        if self.arity <= 0:
+        if self.arity < 0:
             raise ValidationError(
-                f"predicate {self.name!r} must have positive arity, got {self.arity}"
+                f"predicate {self.name!r} must have non-negative arity, got {self.arity}"
             )
 
     def positions(self):

@@ -19,11 +19,21 @@ from .figures import (
     figure_edges,
 )
 from .reporting import format_table, group_mean, summarize_figure, write_csv
+from .runner import (
+    SWEEP_KINDS,
+    SweepResult,
+    SweepTask,
+    plan_sweep,
+    run_sweep,
+    sweep_summary,
+)
 from .tables import TABLE_RUNNERS, table1, table2
 from .workloads import (
     LinearRuleSet,
     SimpleLinearWorkload,
     build_dstar,
+    build_linear_rule_set,
+    build_simple_linear_workload,
     dstar_views,
     linear_rule_sets,
     restrict_view_to_rules,
@@ -43,11 +53,16 @@ __all__ = [
     "PAPER",
     "PRESETS",
     "SMOKE",
+    "SWEEP_KINDS",
     "SimpleLinearWorkload",
+    "SweepResult",
+    "SweepTask",
     "TABLE_RUNNERS",
     "ablation_materialization_vs_acyclicity",
     "ablation_static_vs_dynamic_simplification",
     "build_dstar",
+    "build_linear_rule_set",
+    "build_simple_linear_workload",
     "dstar_views",
     "figure1",
     "figure2",
@@ -61,10 +76,13 @@ __all__ = [
     "format_table",
     "group_mean",
     "linear_rule_sets",
+    "plan_sweep",
     "preset",
     "restrict_view_to_rules",
+    "run_sweep",
     "simple_linear_workloads",
     "summarize_figure",
+    "sweep_summary",
     "table1",
     "table2",
     "write_csv",

@@ -115,8 +115,17 @@ class ExperimentConfig:
         return max(self.db_predicates, highest, 10)
 
     def rng(self, *salt) -> random.Random:
-        """Return a private RNG derived from the master seed and *salt*."""
-        return random.Random((self.seed, *salt).__hash__())
+        """Return a private RNG derived from the master seed and *salt*.
+
+        The derivation is a string key, not ``hash()`` of a tuple: string
+        hashing is randomized per interpreter (PYTHONHASHSEED), which would
+        make the generated workload grid differ between processes — breaking
+        both the parallel sweep runner (workers regenerate their own
+        workloads) and checkpoint resume across interpreter restarts.
+        ``random.Random`` seeds strings deterministically on every platform.
+        """
+        key = ":".join(str(part) for part in (self.seed, *salt))
+        return random.Random(key)
 
     def scaled(self, **overrides) -> "ExperimentConfig":
         """Return a copy with some fields replaced."""

@@ -1,0 +1,506 @@
+"""Parallel, checkpointed workload sweeps (the experiment runner subsystem).
+
+The paper's end-to-end measurements are embarrassingly parallel at workload
+granularity: every (rule set, database) input is independent, so the sweep
+fans them across a process pool the way the worker-pool designs of the
+parallel-join literature distribute independent partitions.  Three pieces:
+
+* **Task plan** — :func:`plan_sweep` enumerates the grid as
+  :class:`SweepTask` descriptors.  Tasks carry *indices*, not data: workload
+  generation is deterministic and random-access
+  (:func:`~repro.experiments.workloads.build_simple_linear_workload` /
+  :func:`~repro.experiments.workloads.build_linear_rule_set`), so a worker
+  process regenerates exactly the inputs its task names instead of receiving
+  pickled databases.
+* **Checkpointed execution** — :func:`run_sweep` appends one JSONL record
+  per completed task to the checkpoint file (guarded by a config
+  fingerprint), so an interrupted sweep resumes where it stopped and a
+  resumed run reuses the completed tasks' rows verbatim.
+* **Incremental linear tasks** — one linear task sweeps a rule set across
+  the whole ``D*`` prefix-view ladder with an
+  :class:`~repro.termination.incremental.IncrementalLinearChecker` backed by
+  a per-worker :class:`~repro.storage.shape_finder.DeltaShapeFinder`, so
+  view ``i+1`` pays only for the rows beyond view ``i``'s offset instead of
+  re-running ``FindShapes`` and Algorithm 2 from scratch.
+
+Aggregation (:func:`sweep_summary`) projects onto the *deterministic*
+columns (verdicts, rule/shape/edge counts) before grouping, so the aggregate
+tables of an interrupted-then-resumed sweep are byte-identical to an
+uninterrupted run — timings stay available in the raw rows and CSV exports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent import futures
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import ExperimentConfigError
+from ..storage.shape_finder import DeltaShapeFinder, InMemoryShapeFinder
+from ..termination.incremental import IncrementalLinearChecker
+from ..termination.linear import is_chase_finite_l
+from ..termination.simple_linear import is_chase_finite_sl
+from .config import ExperimentConfig
+from .reporting import format_table, group_mean
+from .workloads import (
+    build_dstar,
+    build_linear_rule_set,
+    build_simple_linear_workload,
+    dstar_views,
+    global_schema,
+    restrict_view_to_rules,
+)
+
+Row = Dict[str, object]
+
+#: Checkpoint format version (bumped on incompatible record changes).
+CHECKPOINT_VERSION = 1
+
+#: The workload kinds a sweep can cover.
+SWEEP_KINDS = ("sl", "l")
+
+#: Row columns that are deterministic given the configuration (no timings).
+#: Aggregate tables are built from these only, which is what makes resumed
+#: sweeps byte-identical to uninterrupted ones.
+DETERMINISTIC_COLUMNS = (
+    "task_id",
+    "kind",
+    "predicate_profile",
+    "tgd_profile",
+    "n_tuples_per_relation",
+    "n_rules",
+    "n_shapes",
+    "n_simplified_rules",
+    "n_edges",
+    "finite",
+)
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One unit of sweep work: a cell of the workload grid, named by indices.
+
+    ``sl`` tasks run ``IsChaseFinite[SL]`` on one generated workload; ``l``
+    tasks sweep one linear rule set across every ``D*`` prefix view.
+    """
+
+    kind: str
+    profile_index: int
+    sample_index: int
+
+    def __post_init__(self):
+        if self.kind not in SWEEP_KINDS:
+            raise ExperimentConfigError(f"unknown sweep kind {self.kind!r}")
+
+    @property
+    def task_id(self) -> str:
+        """Stable identifier used as the checkpoint key."""
+        return f"{self.kind}:p{self.profile_index}:s{self.sample_index}"
+
+
+def plan_sweep(config: ExperimentConfig, kinds: Sequence[str] = SWEEP_KINDS) -> List[SweepTask]:
+    """Enumerate the sweep tasks for *config* in deterministic order.
+
+    Repeated kinds are deduplicated (first occurrence wins) so task ids stay
+    unique.
+    """
+    tasks: List[SweepTask] = []
+    profiles = config.combined_profiles()
+    for kind in dict.fromkeys(kinds):
+        if kind not in SWEEP_KINDS:
+            raise ExperimentConfigError(
+                f"unknown sweep kind {kind!r}; expected a subset of {SWEEP_KINDS}"
+            )
+        samples = config.sets_per_profile_sl if kind == "sl" else config.sets_per_profile_l
+        for profile_index in range(len(profiles)):
+            for sample_index in range(samples):
+                tasks.append(SweepTask(kind, profile_index, sample_index))
+    return tasks
+
+
+def sweep_fingerprint(
+    config: ExperimentConfig, kinds: Sequence[str], incremental: bool
+) -> str:
+    """Fingerprint guarding a checkpoint against resumption under a different setup."""
+    payload = {
+        "config": asdict(config),
+        "kinds": list(kinds),
+        "incremental": bool(incremental),
+        "version": CHECKPOINT_VERSION,
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+# --------------------------------------------------------------------------- #
+# Per-process worker state
+
+class _WorkerState:
+    """Everything a worker needs, built once per process from the config.
+
+    The ``D*`` store, its view ladder, and the :class:`DeltaShapeFinder` are
+    shared by every linear task the worker executes, so the base relations
+    are scanned at most once per process no matter how many rule sets run.
+    """
+
+    def __init__(self, config: ExperimentConfig, kinds: Sequence[str], incremental: bool):
+        self.config = config
+        self.incremental = incremental
+        self.schema = global_schema(config)
+        self.store = None
+        self.views = None
+        self.finder = None
+        if "l" in kinds:
+            self.store = build_dstar(config)
+            self.views = dstar_views(config, self.store)
+            self.finder = DeltaShapeFinder(self.store)
+
+
+_WORKER_STATE: Optional[_WorkerState] = None
+
+
+def _init_worker(config: ExperimentConfig, kinds: Sequence[str], incremental: bool) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = _WorkerState(config, kinds, incremental)
+
+
+def _run_task_in_worker(task: SweepTask) -> Tuple[str, List[Row], float]:
+    """Execute one task in a pool worker; elapsed is measured here so the
+    checkpoint records task cost, not queue wait."""
+    assert _WORKER_STATE is not None, "worker initializer did not run"
+    start = time.perf_counter()
+    rows = _execute_task(_WORKER_STATE, task)
+    return task.task_id, rows, time.perf_counter() - start
+
+
+# --------------------------------------------------------------------------- #
+# Task execution
+
+def _execute_task(state: _WorkerState, task: SweepTask) -> List[Row]:
+    if task.kind == "sl":
+        return _execute_sl_task(state, task)
+    return _execute_linear_task(state, task)
+
+
+def _execute_sl_task(state: _WorkerState, task: SweepTask) -> List[Row]:
+    workload = build_simple_linear_workload(
+        state.config, task.profile_index, task.sample_index, schema=state.schema
+    )
+    report = is_chase_finite_sl(workload.database, workload.rules_text)
+    timings = report.timings
+    return [
+        {
+            "task_id": task.task_id,
+            "kind": "sl",
+            "predicate_profile": workload.profile.predicates.label,
+            "tgd_profile": workload.profile.tgds.label,
+            "n_rules": report.statistics["n_rules"],
+            "n_edges": report.statistics["n_edges"],
+            "finite": report.finite,
+            "t_parse": timings.t_parse,
+            "t_graph": timings.t_graph,
+            "t_comp": timings.t_comp,
+            "t_total": timings.t_total,
+        }
+    ]
+
+
+def _execute_linear_task(state: _WorkerState, task: SweepTask) -> List[Row]:
+    rule_set = build_linear_rule_set(
+        state.config, task.profile_index, task.sample_index, schema=state.schema
+    )
+    rows: List[Row] = []
+    checker = (
+        IncrementalLinearChecker(rule_set.tgds, state.finder)
+        if state.incremental
+        else None
+    )
+    for view in state.views:
+        restricted = restrict_view_to_rules(view, rule_set.tgds)
+        if checker is not None:
+            report = checker.check(restricted)
+        else:
+            # The paper's per-view pipeline: full FindShapes + full Algorithm 2.
+            report = is_chase_finite_l(InMemoryShapeFinder(restricted), rule_set.tgds)
+        row: Row = {
+            "task_id": task.task_id,
+            "kind": "l",
+            "predicate_profile": rule_set.profile.predicates.label,
+            "tgd_profile": rule_set.profile.tgds.label,
+            "n_tuples_per_relation": view.tuples_per_relation,
+            "n_rules": rule_set.n_rules,
+            "n_shapes": report.statistics["n_initial_shapes"],
+            "n_simplified_rules": report.statistics["n_simplified_rules"],
+            "n_edges": report.statistics["n_edges"],
+            "finite": report.finite,
+            "t_shapes": report.timings.t_shapes,
+            "t_graph": report.timings.t_graph,
+            "t_comp": report.timings.t_comp,
+            "t_total": report.timings.t_total,
+        }
+        rows.append(row)
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Checkpointing
+
+def load_checkpoint(path, fingerprint: str) -> Dict[str, List[Row]]:
+    """Load completed task rows from a JSONL checkpoint.
+
+    Returns ``{}`` when the file does not exist.  A checkpoint written under
+    a different configuration (or sweep mode) raises
+    :class:`~repro.exceptions.ExperimentConfigError` instead of silently
+    mixing incompatible results.  Records are keyed by task id; a trailing
+    partially-written line (interrupt mid-write) is ignored.
+    """
+    if path is None or not os.path.exists(path):
+        return {}
+    completed: Dict[str, List[Row]] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        return {}
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError:
+        raise ExperimentConfigError(f"checkpoint {path!r} has a corrupt header")
+    if header.get("fingerprint") != fingerprint:
+        raise ExperimentConfigError(
+            f"checkpoint {path!r} was written by a different sweep configuration; "
+            "delete it (or point --checkpoint elsewhere) to start fresh"
+        )
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            # An interrupt can truncate the final line; everything before it
+            # is intact, so resume from there.
+            break
+        completed[record["task_id"]] = record["rows"]
+    return completed
+
+
+def _repair_checkpoint(path) -> None:
+    """Truncate a torn final line left by an interrupted write.
+
+    Records are written as single newline-terminated lines, so an interrupt
+    can only leave a partial *final* line with no trailing newline.  Without
+    the truncation, appending the next record would fuse it onto the torn
+    tail, producing a permanently corrupt line that silently drops every
+    record after it on subsequent resumes.
+    """
+    if path is None or not os.path.exists(path):
+        return
+    with open(path, "r+b") as handle:
+        content = handle.read()
+        if content and not content.endswith(b"\n"):
+            handle.truncate(content.rfind(b"\n") + 1)
+
+
+def _open_checkpoint(path, fingerprint: str, already_exists: bool):
+    handle = open(path, "a", encoding="utf-8")
+    if not already_exists:
+        handle.write(json.dumps({"fingerprint": fingerprint}) + "\n")
+        handle.flush()
+    return handle
+
+
+def _append_checkpoint(handle, task_id: str, rows: List[Row], elapsed: float) -> None:
+    handle.write(
+        json.dumps({"task_id": task_id, "elapsed": elapsed, "rows": rows}) + "\n"
+    )
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+# --------------------------------------------------------------------------- #
+# The sweep driver
+
+@dataclass
+class SweepResult:
+    """Outcome of :func:`run_sweep`."""
+
+    rows: List[Row]
+    completed_task_ids: List[str]
+    resumed_task_ids: List[str]
+    pending_task_ids: List[str]
+    elapsed_seconds: float
+    workers: int
+    incremental: bool
+
+    @property
+    def finished(self) -> bool:
+        """``True`` when no task is left pending (the sweep covered the plan)."""
+        return not self.pending_task_ids
+
+
+def run_sweep(
+    config: ExperimentConfig,
+    kinds: Sequence[str] = SWEEP_KINDS,
+    workers: int = 1,
+    checkpoint_path=None,
+    incremental: bool = True,
+    max_tasks: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepResult:
+    """Run (or resume) a workload sweep and return its rows in plan order.
+
+    Parameters
+    ----------
+    kinds:
+        Which workload grids to cover: ``"sl"`` and/or ``"l"``.
+    workers:
+        Process-pool size; ``1`` executes in-process (no pool).
+    checkpoint_path:
+        JSONL file receiving one record per completed task.  When it already
+        holds records for this configuration, those tasks are skipped and
+        their rows reused verbatim.
+    incremental:
+        Use the incremental prefix-view pipeline (delta shape discovery +
+        resumed simplification).  ``False`` runs the paper's from-scratch
+        pipeline per view — the differential baseline.
+    max_tasks:
+        Stop after completing this many tasks (simulates an interrupted
+        sweep; the checkpoint stays valid for resumption).
+    progress:
+        Optional callable receiving one human-readable line per event.
+    """
+    if workers < 1:
+        raise ExperimentConfigError("workers must be >= 1")
+    kinds = tuple(dict.fromkeys(kinds))
+    tasks = plan_sweep(config, kinds)
+    fingerprint = sweep_fingerprint(config, kinds, incremental)
+    _repair_checkpoint(checkpoint_path)
+    completed = load_checkpoint(checkpoint_path, fingerprint)
+    resumed_ids = [task.task_id for task in tasks if task.task_id in completed]
+    pending = [task for task in tasks if task.task_id not in completed]
+    if max_tasks is not None:
+        pending = pending[:max_tasks]
+    # Workers only need the D* store when a pending task will actually touch
+    # it — a resumed sweep whose remaining tasks are all "sl" skips the build.
+    pending_kinds = tuple(sorted({task.kind for task in pending}))
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    note(
+        f"sweep: {len(tasks)} tasks planned, {len(resumed_ids)} resumed from "
+        f"checkpoint, {len(pending)} to run with {workers} worker(s)"
+    )
+
+    handle = None
+    if checkpoint_path is not None and pending:
+        has_header = (
+            os.path.exists(checkpoint_path) and os.path.getsize(checkpoint_path) > 0
+        )
+        handle = _open_checkpoint(checkpoint_path, fingerprint, already_exists=has_header)
+
+    start = time.perf_counter()
+    fresh: Dict[str, List[Row]] = {}
+    try:
+        if not pending:
+            pass  # fully resumed: nothing to build, nothing to run
+        elif workers == 1:
+            state = _WorkerState(config, pending_kinds, incremental)
+            for task in pending:
+                task_start = time.perf_counter()
+                rows = _json_roundtrip(_execute_task(state, task))
+                task_elapsed = time.perf_counter() - task_start
+                fresh[task.task_id] = rows
+                if handle is not None:
+                    _append_checkpoint(handle, task.task_id, rows, task_elapsed)
+                note(f"done {task.task_id} ({len(rows)} rows)")
+        else:
+            with futures.ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(config, pending_kinds, incremental),
+            ) as pool:
+                submitted = [pool.submit(_run_task_in_worker, task) for task in pending]
+                for future in futures.as_completed(submitted):
+                    task_id, rows, task_elapsed = future.result()
+                    rows = _json_roundtrip(rows)
+                    fresh[task_id] = rows
+                    if handle is not None:
+                        _append_checkpoint(handle, task_id, rows, task_elapsed)
+                    note(f"done {task_id} ({len(rows)} rows)")
+    finally:
+        if handle is not None:
+            handle.close()
+    elapsed = time.perf_counter() - start
+
+    all_rows: List[Row] = []
+    completed_ids: List[str] = []
+    pending_ids: List[str] = []
+    for task in tasks:
+        if task.task_id in completed:
+            all_rows.extend(completed[task.task_id])
+            completed_ids.append(task.task_id)
+        elif task.task_id in fresh:
+            all_rows.extend(fresh[task.task_id])
+            completed_ids.append(task.task_id)
+        else:
+            pending_ids.append(task.task_id)
+
+    return SweepResult(
+        rows=all_rows,
+        completed_task_ids=completed_ids,
+        resumed_task_ids=resumed_ids,
+        pending_task_ids=pending_ids,
+        elapsed_seconds=elapsed,
+        workers=workers,
+        incremental=incremental,
+    )
+
+
+def _json_roundtrip(rows: List[Row]) -> List[Row]:
+    """Normalise rows through JSON so fresh and checkpoint-loaded rows are identical.
+
+    Rows that came from a checkpoint passed through ``json.dumps``/``loads``
+    (tuples become lists, keys become strings); fresh rows take the same trip
+    so a resumed sweep is indistinguishable from an uninterrupted one.
+    """
+    return json.loads(json.dumps(rows))
+
+
+# --------------------------------------------------------------------------- #
+# Aggregation into the reporting layer
+
+def sweep_summary(rows: Iterable[Row]) -> str:
+    """Render the aggregate tables of a sweep (deterministic columns only).
+
+    Rows are grouped per kind — per combined profile for ``sl``, additionally
+    per database size for ``l`` — and averaged over the deterministic
+    columns.  Because no timing enters the projection, the rendered tables
+    depend only on the configuration: resuming an interrupted sweep yields
+    byte-identical output.
+    """
+    rows = list(rows)
+    parts: List[str] = []
+    sl_rows = [row for row in rows if row.get("kind") == "sl"]
+    if sl_rows:
+        aggregated = group_mean(
+            sl_rows,
+            ("predicate_profile", "tgd_profile"),
+            ("n_rules", "n_edges", "finite"),
+        )
+        parts.append(format_table(aggregated, title="sweep[sl] (means per profile)"))
+    l_rows = [row for row in rows if row.get("kind") == "l"]
+    if l_rows:
+        aggregated = group_mean(
+            l_rows,
+            ("predicate_profile", "tgd_profile", "n_tuples_per_relation"),
+            ("n_rules", "n_shapes", "n_simplified_rules", "n_edges", "finite"),
+        )
+        parts.append(
+            format_table(aggregated, title="sweep[l] (means per profile and view size)")
+        )
+    if not parts:
+        return "(no rows)"
+    return "\n\n".join(parts)

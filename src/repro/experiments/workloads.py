@@ -65,47 +65,78 @@ def global_schema(config: ExperimentConfig):
     )
 
 
+def build_simple_linear_workload(
+    config: ExperimentConfig,
+    profile_index: int,
+    sample_index: int,
+    schema=None,
+) -> SimpleLinearWorkload:
+    """Build one cell of the simple-linear grid by its (profile, sample) index.
+
+    Workload generation is random-access: each cell derives its own RNG from
+    the master seed, so the parallel sweep runner can regenerate exactly the
+    workload a task names without producing the rest of the grid.
+    """
+    if schema is None:
+        schema = global_schema(config)
+    profile = config.combined_profiles()[profile_index]
+    rng = config.rng("sl", profile_index, sample_index)
+    ssize, tsize = profile.sample_sizes(rng)
+    generator = TGDGenerator(
+        schema,
+        TGDGeneratorConfig(ssize=ssize, min_arity=1, max_arity=5, tsize=tsize, tclass="SL"),
+        seed=rng.randrange(2**31),
+    )
+    tgds = generator.generate()
+    return SimpleLinearWorkload(
+        profile=profile,
+        rules_text=serialize_rules(tgds),
+        tgds=tgds,
+        database=induced_database(tgds),
+        seed=sample_index,
+    )
+
+
+def build_linear_rule_set(
+    config: ExperimentConfig,
+    profile_index: int,
+    sample_index: int,
+    schema=None,
+) -> LinearRuleSet:
+    """Build one linear rule set by its (profile, sample) index (random access)."""
+    if schema is None:
+        schema = global_schema(config)
+    profile = config.combined_profiles()[profile_index]
+    rng = config.rng("l", profile_index, sample_index)
+    ssize, tsize = profile.sample_sizes(rng)
+    generator = TGDGenerator(
+        schema,
+        TGDGeneratorConfig(ssize=ssize, min_arity=1, max_arity=5, tsize=tsize, tclass="L"),
+        seed=rng.randrange(2**31),
+    )
+    tgds = generator.generate()
+    return LinearRuleSet(
+        profile=profile,
+        rules_text=serialize_rules(tgds),
+        tgds=tgds,
+        seed=sample_index,
+    )
+
+
 def simple_linear_workloads(config: ExperimentConfig) -> Iterator[SimpleLinearWorkload]:
     """Generate the simple-linear grid (Section 7.1) at the configured scale."""
     schema = global_schema(config)
-    for profile_index, profile in enumerate(config.combined_profiles()):
+    for profile_index in range(len(config.combined_profiles())):
         for sample_index in range(config.sets_per_profile_sl):
-            rng = config.rng("sl", profile_index, sample_index)
-            ssize, tsize = profile.sample_sizes(rng)
-            generator = TGDGenerator(
-                schema,
-                TGDGeneratorConfig(ssize=ssize, min_arity=1, max_arity=5, tsize=tsize, tclass="SL"),
-                seed=rng.randrange(2**31),
-            )
-            tgds = generator.generate()
-            yield SimpleLinearWorkload(
-                profile=profile,
-                rules_text=serialize_rules(tgds),
-                tgds=tgds,
-                database=induced_database(tgds),
-                seed=sample_index,
-            )
+            yield build_simple_linear_workload(config, profile_index, sample_index, schema=schema)
 
 
 def linear_rule_sets(config: ExperimentConfig) -> Iterator[LinearRuleSet]:
     """Generate the 45-set analogue of ``Σ*`` (Section 8.1) at the configured scale."""
     schema = global_schema(config)
-    for profile_index, profile in enumerate(config.combined_profiles()):
+    for profile_index in range(len(config.combined_profiles())):
         for sample_index in range(config.sets_per_profile_l):
-            rng = config.rng("l", profile_index, sample_index)
-            ssize, tsize = profile.sample_sizes(rng)
-            generator = TGDGenerator(
-                schema,
-                TGDGeneratorConfig(ssize=ssize, min_arity=1, max_arity=5, tsize=tsize, tclass="L"),
-                seed=rng.randrange(2**31),
-            )
-            tgds = generator.generate()
-            yield LinearRuleSet(
-                profile=profile,
-                rules_text=serialize_rules(tgds),
-                tgds=tgds,
-                seed=sample_index,
-            )
+            yield build_linear_rule_set(config, profile_index, sample_index, schema=schema)
 
 
 def build_dstar(config: ExperimentConfig) -> RelationalDatabase:

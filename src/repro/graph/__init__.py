@@ -5,6 +5,7 @@ from .dependency_graph import (
     Edge,
     build_dependency_graph,
     build_support_graph,
+    extend_dependency_graph,
 )
 from .reachability import (
     extensional_predicates,
@@ -20,6 +21,7 @@ __all__ = [
     "SCC",
     "build_dependency_graph",
     "build_support_graph",
+    "extend_dependency_graph",
     "extensional_predicates",
     "find_sccs",
     "find_special_sccs",

@@ -192,6 +192,27 @@ def build_support_graph(tgds: TGDSet) -> DependencyGraph:
     return graph
 
 
+def _add_tgd_edges(graph: DependencyGraph, tgd: TGD) -> None:
+    """Add the dependency edges contributed by a single TGD to *graph*."""
+    frontier = tgd.frontier()
+    existentials = tgd.existential_variables()
+    # Pre-compute the head positions of every relevant variable once per TGD.
+    head_positions_by_var: Dict = {}
+    for variable in frontier | existentials:
+        head_positions_by_var[variable] = positions_of(tgd.head, variable)
+    special_targets: Set[Position] = set()
+    for variable in existentials:
+        special_targets.update(head_positions_by_var[variable])
+    for variable in frontier:
+        body_positions = positions_of(tgd.body, variable)
+        normal_targets = head_positions_by_var[variable]
+        for source in body_positions:
+            for target in normal_targets:
+                graph.add_edge(source, target, special=False)
+            for target in special_targets:
+                graph.add_edge(source, target, special=True)
+
+
 def build_dependency_graph(tgds: TGDSet) -> DependencyGraph:
     """``BuildDepGraph(Σ)``: construct the dependency graph of a TGD set.
 
@@ -202,21 +223,22 @@ def build_dependency_graph(tgds: TGDSet) -> DependencyGraph:
     """
     graph = DependencyGraph(schema=tgds.schema())
     for tgd in tgds:
-        frontier = tgd.frontier()
-        existentials = tgd.existential_variables()
-        # Pre-compute the head positions of every relevant variable once per TGD.
-        head_positions_by_var: Dict = {}
-        for variable in frontier | existentials:
-            head_positions_by_var[variable] = positions_of(tgd.head, variable)
-        special_targets: Set[Position] = set()
-        for variable in existentials:
-            special_targets.update(head_positions_by_var[variable])
-        for variable in frontier:
-            body_positions = positions_of(tgd.body, variable)
-            normal_targets = head_positions_by_var[variable]
-            for source in body_positions:
-                for target in normal_targets:
-                    graph.add_edge(source, target, special=False)
-                for target in special_targets:
-                    graph.add_edge(source, target, special=True)
+        _add_tgd_edges(graph, tgd)
+    return graph
+
+
+def extend_dependency_graph(graph: DependencyGraph, new_tgds: Iterable[TGD]) -> DependencyGraph:
+    """Extend *graph* in place with the nodes and edges of *new_tgds*.
+
+    Edges are set-collapsed and special-flag ORed exactly as in
+    :func:`build_dependency_graph`, so extending ``dg(Σ)`` with ``Σ' \\ Σ``
+    yields the same graph as building ``dg(Σ ∪ Σ')`` from scratch — the
+    invariant the incremental ``IsChaseFinite[L]`` sweep relies on when it
+    grows ``simple_D(Σ)`` across prefix views.  Returns *graph*.
+    """
+    for tgd in new_tgds:
+        for predicate in tgd.predicates():
+            for position in predicate.positions():
+                graph.add_node(position)
+        _add_tgd_edges(graph, tgd)
     return graph

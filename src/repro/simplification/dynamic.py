@@ -26,10 +26,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..core.instances import Database
 from ..core.predicates import Predicate
 from ..core.tgds import TGD, TGDSet
-from .shapes import Shape, shape_of_atom, shapes_of_database
+from .shapes import Shape, resolve_shapes
 from .specialization import h_specialization
 from .static import simplify_tgd_with
 
@@ -101,11 +100,15 @@ def head_shapes(tgds: Iterable[TGD]) -> Set[Shape]:
 
 
 def shape_from_simplified_predicate(predicate: Predicate) -> Shape:
-    """Invert :meth:`Shape.as_predicate`: recover the shape from ``R__1_2_1``."""
+    """Invert :meth:`Shape.as_predicate`: recover the shape from ``R__1_2_1``.
+
+    The simplified predicate of a nullary shape is ``R__`` (empty suffix,
+    empty identifier tuple).
+    """
     name, separator, suffix = predicate.name.rpartition("__")
     if not separator:
         raise ValueError(f"{predicate.name!r} is not a simplified (shape) predicate name")
-    identifiers = tuple(int(token) for token in suffix.split("_"))
+    identifiers = tuple(int(token) for token in suffix.split("_")) if suffix else ()
     return Shape(name, identifiers)
 
 
@@ -126,21 +129,12 @@ def dynamic_simplification(
         The set of linear TGDs ``Σ``.
     """
     tgds.require_linear()
-    initial_shapes = _coerce_shapes(database_or_shapes)
+    initial_shapes = resolve_shapes(database_or_shapes)
     index = tgds.by_body_predicate() if len(tgds) else {}
 
     known_shapes: Set[Shape] = set(initial_shapes)
     simplified = TGDSet()
-    delta: Set[Shape] = set(initial_shapes)
-    iterations = 0
-
-    while delta:
-        iterations += 1
-        new_rules = applicable(delta, tgds, index=index)
-        newly_added = [rule for rule in new_rules if simplified.add(rule)]
-        produced = head_shapes(newly_added)
-        delta = produced - known_shapes
-        known_shapes |= delta
+    iterations = _fixpoint(set(initial_shapes), known_shapes, simplified, tgds, index)
 
     return DynamicSimplificationResult(
         tgds=simplified,
@@ -150,17 +144,63 @@ def dynamic_simplification(
     )
 
 
-def _coerce_shapes(database_or_shapes) -> Set[Shape]:
-    """Normalise the shape source accepted by :func:`dynamic_simplification`."""
-    if isinstance(database_or_shapes, Database):
-        return shapes_of_database(database_or_shapes)
-    if hasattr(database_or_shapes, "find_shapes"):
-        return set(database_or_shapes.find_shapes())
-    shapes = set(database_or_shapes)
-    for shape in shapes:
-        if not isinstance(shape, Shape):
-            raise TypeError(
-                "dynamic_simplification expects a Database, a shape finder, "
-                f"or an iterable of Shape; got element {shape!r}"
-            )
-    return shapes
+def resume_dynamic_simplification(
+    previous: DynamicSimplificationResult,
+    database_or_shapes,
+    tgds: TGDSet,
+) -> DynamicSimplificationResult:
+    """Continue Algorithm 2's fixpoint from *previous* with more database shapes.
+
+    The prefix views of Section 8.1 grow monotonically, so the shape set of
+    view ``i+1`` is a superset of view ``i``'s.  Because ``Γ_Σ`` is monotone,
+    the ``simple_D(Σ)`` fixpoint for the larger view can be obtained by
+    seeding Algorithm 2's frontier with only the shapes *not already known*
+    at the previous view and continuing from the previous fixpoint — the
+    result is identical to a from-scratch run on the larger view.
+
+    The returned result's :attr:`~DynamicSimplificationResult.tgds` preserves
+    the insertion order of *previous* followed by the newly derived rules, so
+    callers can extend incremental structures (e.g. the dependency graph)
+    from the tail ``result.tgds.tgds[len(previous.tgds):]``.
+
+    ``iterations`` counts only the iterations of this resumption.
+    """
+    tgds.require_linear()
+    new_shapes = resolve_shapes(database_or_shapes)
+    index = tgds.by_body_predicate() if len(tgds) else {}
+
+    known_shapes: Set[Shape] = set(previous.derived_shapes)
+    simplified = TGDSet(previous.tgds)
+    delta = new_shapes - known_shapes
+    known_shapes |= delta
+    iterations = _fixpoint(delta, known_shapes, simplified, tgds, index)
+
+    return DynamicSimplificationResult(
+        tgds=simplified,
+        derived_shapes=known_shapes,
+        initial_shapes=set(previous.initial_shapes) | new_shapes,
+        iterations=iterations,
+    )
+
+
+def _fixpoint(
+    delta: Set[Shape],
+    known_shapes: Set[Shape],
+    simplified: TGDSet,
+    tgds: TGDSet,
+    index: Dict[Predicate, List[TGD]],
+) -> int:
+    """Run Algorithm 2's while loop in place; return the iteration count.
+
+    *known_shapes* and *simplified* are mutated; *delta* is the seed frontier
+    (shapes not yet processed by ``Applicable``).
+    """
+    iterations = 0
+    while delta:
+        iterations += 1
+        new_rules = applicable(delta, tgds, index=index)
+        newly_added = [rule for rule in new_rules if simplified.add(rule)]
+        produced = head_shapes(newly_added)
+        delta = produced - known_shapes
+        known_shapes |= delta
+    return iterations

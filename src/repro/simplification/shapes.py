@@ -52,7 +52,9 @@ def is_identifier_tuple(ids: Sequence[int]) -> bool:
     """Return ``True`` when *ids* is a well-formed identifier tuple.
 
     A well-formed identifier tuple starts at 1 and never skips: the ``k``-th
-    *new* value to appear must be ``k`` (restricted growth string).
+    *new* value to appear must be ``k`` (restricted growth string).  The empty
+    tuple is the (unique) restricted growth string of length 0 — it is the
+    shape of a nullary atom ``R()``.
     """
     highest = 0
     for value in ids:
@@ -61,7 +63,7 @@ def is_identifier_tuple(ids: Sequence[int]) -> bool:
         if value > highest + 1:
             return False
         highest = max(highest, value)
-    return bool(ids) and highest >= 1
+    return True
 
 
 @dataclass(frozen=True, order=True)
@@ -83,7 +85,7 @@ class Shape:
     @property
     def distinct_terms(self) -> int:
         """Number of distinct terms the shape describes (max identifier)."""
-        return max(self.identifiers)
+        return max(self.identifiers, default=0)
 
     def is_simple(self) -> bool:
         """Return ``True`` for the identity shape ``(1, 2, ..., n)`` (no repetitions)."""
@@ -160,14 +162,43 @@ def shapes_of_database(database: Instance) -> Set[Shape]:
     return {shape_of_atom(atom) for atom in database}
 
 
+def resolve_shapes(source) -> Set[Shape]:
+    """Resolve a pluggable shape source into the set of its shapes.
+
+    Every entry point that consumes database shapes (``IsChaseFinite[L]``,
+    dynamic simplification, the experiment harness) accepts the same three
+    source kinds and must resolve them identically:
+
+    * an :class:`~repro.core.instances.Instance` (including ``Database``) —
+      shapes are computed by scanning its atoms;
+    * an object exposing ``find_shapes()`` (the storage substrate's finders)
+      — the finder is invoked;
+    * any other iterable — treated as pre-computed shapes and validated
+      element by element.
+    """
+    if isinstance(source, Instance):
+        return shapes_of_database(source)
+    if hasattr(source, "find_shapes"):
+        return set(source.find_shapes())
+    shapes = set(source)
+    for shape in shapes:
+        if not isinstance(shape, Shape):
+            raise TypeError(
+                "expected a Database, a shape finder, or an iterable of Shape; "
+                f"got element {shape!r}"
+            )
+    return shapes
+
+
 def identifier_tuples_of_arity(arity: int) -> Iterator[Tuple[int, ...]]:
     """Enumerate every valid identifier tuple of length *arity*.
 
     These are the restricted growth strings of length ``arity``; there are
-    Bell(``arity``) of them.
+    Bell(``arity``) of them.  ``arity=0`` yields the single empty tuple
+    (Bell(0) = 1), matching the unique shape of a nullary predicate.
     """
-    if arity < 1:
-        raise ValueError("arity must be >= 1")
+    if arity < 0:
+        raise ValueError("arity must be >= 0")
 
     def _extend(prefix: List[int], highest: int) -> Iterator[Tuple[int, ...]]:
         if len(prefix) == arity:

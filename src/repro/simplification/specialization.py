@@ -36,7 +36,11 @@ class Specialization:
     def _validate(self) -> None:
         ordered = list(dict.fromkeys(self._variables))  # distinct, in first-occurrence order
         if not ordered:
-            raise ValueError("a specialization needs at least one variable")
+            # The empty tuple (a nullary body atom) has exactly one
+            # specialization: the empty function.
+            if self._mapping:
+                raise ValueError("the empty specialization cannot map any variable")
+            return
         first = ordered[0]
         if self._mapping.get(first, first) != first:
             raise ValueError("a specialization must map the first variable to itself")
@@ -102,7 +106,9 @@ def enumerate_specializations(variables: Sequence[Variable]) -> Iterator[Special
     """
     distinct = list(dict.fromkeys(variables))
     if not distinct:
-        raise ValueError("cannot enumerate specializations of an empty tuple")
+        # Bell(0) = 1: the empty tuple has exactly one (empty) specialization.
+        yield Specialization(variables, {})
+        return
 
     def _extend(index: int, mapping: Dict[Variable, Variable], images: List[Variable]):
         if index == len(distinct):

@@ -11,6 +11,7 @@ from .queries import (
 )
 from .relation import Relation
 from .shape_finder import (
+    DeltaShapeFinder,
     InDatabaseShapeFinder,
     InMemoryShapeFinder,
     ShapeFinderStats,
@@ -20,6 +21,7 @@ from .views import PrefixView
 
 __all__ = [
     "AtomStore",
+    "DeltaShapeFinder",
     "InDatabaseShapeFinder",
     "InMemoryShapeFinder",
     "PrefixView",

@@ -11,7 +11,15 @@ provided, mirroring the paper:
   Boolean existence query per candidate shape, ordered from general to
   specific and pruned Apriori-style using relaxed (equality-only) queries.
 
-Both classes expose ``find_shapes()`` and can be handed directly to
+A third implementation serves the prefix-view sweeps of Section 8.1:
+
+* :class:`DeltaShapeFinder` — incremental ``FindShapes`` over the growing
+  prefix views of one store.  It scans each base relation exactly once,
+  remembers the first row at which every shape appears, and answers any
+  prefix view from that index — view ``i+1`` only pays for the rows beyond
+  view ``i``'s offset.
+
+All classes expose ``find_shapes()`` and can be handed directly to
 :func:`repro.termination.linear.is_chase_finite_l`.  They also count their
 work (rows scanned, queries issued) so the experiment harness can report
 where the time goes.
@@ -20,6 +28,7 @@ where the time goes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..chase.bounds import bell_number
@@ -30,13 +39,28 @@ from .queries import shape_exists
 
 @dataclass
 class ShapeFinderStats:
-    """Work counters shared by the two implementations."""
+    """Work counters shared by the ``FindShapes`` implementations.
+
+    ``queries_issued`` counts *every* query sent to the store — relaxed
+    (equality-only) pruning queries included; ``relaxed_queries_issued`` is
+    the relaxed subset.  Counters describe the most recent ``find_shapes()``
+    call: the finders reset them (in place, so held references stay valid)
+    at the start of each run.
+    """
 
     rows_scanned: int = 0
     queries_issued: int = 0
     relaxed_queries_issued: int = 0
     shapes_found: int = 0
     shapes_pruned: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        self.rows_scanned = 0
+        self.queries_issued = 0
+        self.relaxed_queries_issued = 0
+        self.shapes_found = 0
+        self.shapes_pruned = 0
 
 
 class _BaseShapeFinder:
@@ -73,6 +97,7 @@ class InMemoryShapeFinder(_BaseShapeFinder):
 
     def find_shapes(self) -> Set[Shape]:
         """Return the set of shapes of every tuple in the store."""
+        self.stats.reset()
         shapes: Set[Shape] = set()
         for relation in self._relations():
             name = relation.predicate.name
@@ -121,6 +146,7 @@ class InDatabaseShapeFinder(_BaseShapeFinder):
             for j in range(i + 1, arity + 1):
                 # The most general shape forcing only positions i and j equal.
                 pair_shape = self._pair_shape(relation.predicate.name, arity, i, j)
+                self.stats.queries_issued += 1
                 self.stats.relaxed_queries_issued += 1
                 if shape_exists(relation.rows(), pair_shape, relaxed=True):
                     mergeable.add((i, j))
@@ -173,13 +199,17 @@ class InDatabaseShapeFinder(_BaseShapeFinder):
 
     def find_shapes(self) -> Set[Shape]:
         """Return the set of shapes present in the store, one query batch per relation."""
+        self.stats.reset()
         shapes: Set[Shape] = set()
         for relation in self._relations():
             predicate = relation.predicate
-            if predicate.arity == 1:
+            if predicate.arity <= 1:
+                # Arity 0 and 1 admit a single shape each — (()) and ((1,)) —
+                # which exists iff the relation holds at least one tuple.
+                only_shape = Shape(predicate.name, (1,) * predicate.arity)
                 self.stats.queries_issued += 1
-                if shape_exists(relation.rows(), Shape(predicate.name, (1,)), relaxed=False):
-                    shapes.add(Shape(predicate.name, (1,)))
+                if shape_exists(relation.rows(), only_shape, relaxed=False):
+                    shapes.add(only_shape)
                 continue
             mergeable = self._mergeable_pairs(relation)
             candidates = self._candidates(predicate, mergeable)
@@ -193,6 +223,7 @@ class InDatabaseShapeFinder(_BaseShapeFinder):
                     self.stats.shapes_pruned += 1
                     continue
                 if forced_equalities:
+                    self.stats.queries_issued += 1
                     self.stats.relaxed_queries_issued += 1
                     if not shape_exists(relation.rows(), shape, relaxed=True):
                         failed_equality_sets.append(forced_equalities)
@@ -203,6 +234,81 @@ class InDatabaseShapeFinder(_BaseShapeFinder):
                     shapes.add(shape)
         self.stats.shapes_found = len(shapes)
         return shapes
+
+
+class DeltaShapeFinder:
+    """Incremental ``FindShapes`` across the prefix views of one store.
+
+    The paper's linear experiments re-run ``FindShapes`` from scratch on
+    every ``D*`` view even though view ``i+1`` extends view ``i`` tuple for
+    tuple.  This finder exploits the prefix structure: per base relation it
+    maintains the scan offset reached so far and, for every shape observed,
+    the (1-based) row count at which the shape first appeared.  Computing the
+    shapes of a larger view then scans only the delta rows, and the shapes of
+    *any* already-scanned prefix — larger or smaller, restricted to any
+    predicate subset — are answered from the first-seen index without
+    touching tuples again.
+
+    The finder is bound to one base store; every view handed to
+    :meth:`shapes_for` must wrap that store.  ``stats.rows_scanned`` counts
+    only the delta rows of the most recent call.
+    """
+
+    def __init__(self, store):
+        self._store = store
+        self._scanned: Dict[str, int] = {}
+        self._first_seen: Dict[str, Dict[Shape, int]] = {}
+        self.stats = ShapeFinderStats()
+
+    def _ensure_scanned(self, relation, target: int) -> None:
+        """Extend the scan of *relation* (a base relation) up to *target* rows."""
+        name = relation.predicate.name
+        scanned = self._scanned.get(name, 0)
+        if target <= scanned:
+            return
+        first_seen = self._first_seen.setdefault(name, {})
+        for count, row in enumerate(
+            islice(relation.rows(), scanned, target), start=scanned + 1
+        ):
+            self.stats.rows_scanned += 1
+            shape = Shape(name, identifier_tuple(row))
+            if shape not in first_seen:
+                first_seen[shape] = count
+        self._scanned[name] = target
+
+    def shapes_for(self, view=None) -> Set[Shape]:
+        """Return the shapes of *view* (a prefix view of the base store).
+
+        ``view=None`` computes the shapes of the whole store.  The view's
+        predicate restriction (``sch(Σ)``) is honoured: hidden relations
+        contribute nothing, but their scan state is retained so other rule
+        sets sharing the finder still benefit.
+        """
+        self.stats.reset()
+        if view is None:
+            limit = None
+            names = self._store.relation_names()
+        else:
+            base = getattr(view, "store", None)
+            if base is not self._store:
+                raise ValueError("view does not wrap the store this finder is bound to")
+            limit = view.tuples_per_relation
+            names = view.relation_names()
+        shapes: Set[Shape] = set()
+        for name in names:
+            relation = self._store.relation(name)
+            target = len(relation) if limit is None else min(limit, len(relation))
+            self._ensure_scanned(relation, target)
+            first_seen = self._first_seen.get(name, {})
+            shapes.update(
+                shape for shape, first in first_seen.items() if first <= target
+            )
+        self.stats.shapes_found = len(shapes)
+        return shapes
+
+    def find_shapes(self) -> Set[Shape]:
+        """Whole-store ``FindShapes`` (the shared finder interface)."""
+        return self.shapes_for(None)
 
 
 def find_shapes(store, method: str = "in-memory", chunk_size: Optional[int] = None) -> Set[Shape]:

@@ -89,6 +89,11 @@ class PrefixView:
             }
 
     @property
+    def store(self) -> RelationalDatabase:
+        """The base store this view restricts (shared by all sibling views)."""
+        return self._store
+
+    @property
     def tuples_per_relation(self) -> int:
         """The per-relation prefix length."""
         return self._limit

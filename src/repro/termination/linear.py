@@ -21,24 +21,25 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
-from ..core.instances import Database
 from ..core.parser import parse_rules
 from ..core.tgds import TGDSet
 from ..graph.dependency_graph import build_dependency_graph
 from ..graph.tarjan import find_special_sccs
 from ..simplification.dynamic import dynamic_simplification
-from ..simplification.shapes import shapes_of_database
+from ..simplification.shapes import resolve_shapes
 from .report import Stopwatch, TerminationReport, TimingBreakdown
 
 
 def _find_shapes(shape_source, stopwatch: Stopwatch):
-    """Resolve the shape source and measure ``t-shapes``."""
+    """Resolve the shape source and measure ``t-shapes``.
+
+    Resolution is delegated to
+    :func:`repro.simplification.shapes.resolve_shapes` — the same helper
+    dynamic simplification uses — so a given input takes the same path no
+    matter the entry point.
+    """
     with stopwatch.measure("t_shapes"):
-        if hasattr(shape_source, "find_shapes"):
-            return set(shape_source.find_shapes())
-        if isinstance(shape_source, Database):
-            return shapes_of_database(shape_source)
-        return set(shape_source)
+        return resolve_shapes(shape_source)
 
 
 def is_chase_finite_l(

@@ -31,9 +31,12 @@ class TestParseAtom:
         atom = parse_atom("R(?x, a)", as_variable=False)
         assert Variable("x") in atom.variables()
 
-    def test_nullary_rejected(self):
+    def test_nullary_atom(self):
+        atom = parse_atom("R()")
+        assert atom.predicate.arity == 0
+        assert atom.terms == ()
         with pytest.raises(ParseError):
-            parse_atom("R()")
+            parse_atom("R(,)")
 
     def test_malformed(self):
         with pytest.raises(ParseError):

@@ -7,9 +7,13 @@ from repro.exceptions import ValidationError
 
 
 class TestPredicate:
-    def test_positive_arity_required(self):
+    def test_negative_arity_rejected(self):
         with pytest.raises(ValidationError):
-            Predicate("R", 0)
+            Predicate("R", -1)
+
+    def test_nullary_predicate_allowed(self):
+        predicate = Predicate("Flag", 0)
+        assert predicate.positions() == ()
 
     def test_name_required(self):
         with pytest.raises(ValidationError):

@@ -107,3 +107,44 @@ class TestDynamicSimplification:
         for rule in result.tgds:
             body_shape = shape_from_simplified_predicate(rule.body[0].predicate)
             assert body_shape in result.derived_shapes
+
+
+class TestUnifiedShapeSourceResolution:
+    """Both entry points resolve shape sources through the same helper."""
+
+    RULES = "R(x,y) -> S(y,z)\n"
+
+    def _sources(self):
+        from repro.storage.database import RelationalDatabase
+        from repro.storage.shape_finder import InMemoryShapeFinder
+
+        database = parse_database("R(a,b).\n")
+        store = RelationalDatabase.from_database(database)
+        return [
+            database,                          # a core Database
+            InMemoryShapeFinder(store),        # a finder with find_shapes()
+            shapes_of_database(database),      # a plain iterable of shapes
+        ]
+
+    def test_every_source_kind_gives_the_same_result(self):
+        from repro.simplification.shapes import resolve_shapes
+        from repro.termination.linear import is_chase_finite_l
+
+        rules = parse_rules(self.RULES)
+        resolved = [resolve_shapes(source) for source in self._sources()]
+        assert resolved[0] == resolved[1] == resolved[2] == {Shape("R", (1, 2))}
+        simplifications = [
+            dynamic_simplification(source, rules).tgds for source in self._sources()
+        ]
+        assert simplifications[0] == simplifications[1] == simplifications[2]
+        verdicts = [is_chase_finite_l(source, rules).finite for source in self._sources()]
+        assert verdicts[0] == verdicts[1] == verdicts[2]
+
+    def test_invalid_iterable_rejected_everywhere(self):
+        from repro.termination.linear import is_chase_finite_l
+
+        rules = parse_rules(self.RULES)
+        with pytest.raises(TypeError):
+            dynamic_simplification(["not-a-shape"], rules)
+        with pytest.raises(TypeError):
+            is_chase_finite_l(["not-a-shape"], rules)

@@ -47,7 +47,7 @@ class TestIdentifierAlgebra:
         assert is_identifier_tuple((1, 2, 1, 3, 2))
         assert not is_identifier_tuple((2, 1))  # must start at 1
         assert not is_identifier_tuple((1, 3))  # must not skip
-        assert not is_identifier_tuple(())
+        assert is_identifier_tuple(())  # the shape of a nullary atom
         assert not is_identifier_tuple((0,))
 
     @given(st.lists(st.sampled_from([x, y, z]), min_size=1, max_size=6))
@@ -146,9 +146,69 @@ class TestShapeEnumeration:
 
     def test_invalid_arity(self):
         with pytest.raises(ValueError):
-            list(identifier_tuples_of_arity(0))
+            list(identifier_tuples_of_arity(-1))
+
+    def test_nullary_arity_has_one_shape(self):
+        assert list(identifier_tuples_of_arity(0)) == [()]
 
     def test_database_of_shapes(self):
         database = database_of_shapes({Shape("R", (1, 2)), Shape("P", (1, 1, 2))})
         assert len(database) == 2
         assert Atom(Predicate("P", 3), (Constant("1"), Constant("1"), Constant("2"))) in database
+
+
+class TestNullaryShapes:
+    """Round-trip coverage for the nullary-shape semantics.
+
+    A nullary predicate ``R/0`` has exactly one shape, ``R[()]`` — the empty
+    identifier tuple is the restricted growth string of length 0.
+    """
+
+    def test_nullary_shape_is_valid(self):
+        shape = Shape("Flag", ())
+        assert shape.arity == 0
+        assert shape.distinct_terms == 0
+        assert shape.is_simple()
+        assert shape.equal_position_pairs() == set()
+
+    def test_parser_to_shape_round_trip(self):
+        from repro.core.parser import parse_fact
+        from repro.simplification.dynamic import shape_from_simplified_predicate
+
+        atom = parse_fact("Flag().")
+        shape = shape_of_atom(atom)
+        assert shape == Shape("Flag", ())
+        simplified_predicate = shape.as_predicate()
+        assert simplified_predicate.name == "Flag__"
+        assert simplified_predicate.arity == 0
+        assert shape_from_simplified_predicate(simplified_predicate) == shape
+
+    def test_parse_database_with_nullary_facts(self):
+        database = parse_database("Flag().\nR(a,b).\n")
+        shapes = shapes_of_database(database)
+        assert Shape("Flag", ()) in shapes
+        assert Shape("R", (1, 2)) in shapes
+
+    def test_serializer_round_trip(self):
+        from repro.core.parser import parse_fact
+        from repro.core.serializer import serialize_fact
+
+        atom = parse_fact("Flag().")
+        assert serialize_fact(atom) == "Flag()."
+        assert parse_fact(serialize_fact(atom)) == atom
+
+    def test_simplify_nullary_atom(self):
+        atom = Atom(Predicate("Flag", 0), ())
+        simplified = simplify_atom(atom)
+        assert simplified.predicate.name == "Flag__"
+        assert simplified.terms == ()
+
+    def test_database_of_shapes_with_nullary(self):
+        database = database_of_shapes({Shape("Flag", ())})
+        assert len(database) == 1
+        atom = next(iter(database))
+        assert atom.predicate == Predicate("Flag", 0)
+
+    def test_bell_zero_enumeration(self):
+        assert bell_number(0) == 1
+        assert list(shapes_of_predicate(Predicate("Flag", 0))) == [Shape("Flag", ())]

@@ -70,9 +70,12 @@ class TestEnumeration:
         images = {s.images() for s in enumerate_specializations((x, y, x))}
         assert images == {(x, y, x), (x, x, x)}
 
-    def test_empty_tuple_rejected(self):
-        with pytest.raises(ValueError):
-            list(enumerate_specializations(()))
+    def test_empty_tuple_has_one_specialization(self):
+        # Bell(0) = 1: a nullary body atom admits exactly the empty specialization.
+        specializations = list(enumerate_specializations(()))
+        assert len(specializations) == 1
+        assert specializations[0].images() == ()
+        assert specializations[0].is_identity()
 
 
 class TestHSpecialization:

@@ -15,6 +15,7 @@ from repro.storage.queries import (
     shape_query_sql,
 )
 from repro.storage.shape_finder import (
+    DeltaShapeFinder,
     InDatabaseShapeFinder,
     InMemoryShapeFinder,
     find_shapes,
@@ -154,3 +155,127 @@ class TestShapeFinders:
             rows_by_relation[(name, arity)] = [tuple((row * arity)[:arity]) for row in rows]
         store = _store_from_rows(rows_by_relation)
         assert InMemoryShapeFinder(store).find_shapes() == InDatabaseShapeFinder(store).find_shapes()
+
+    def test_nullary_relation_shapes(self):
+        store = _store_from_rows({("Flag", 0): [()], ("Empty", 0): []})
+        expected = {Shape("Flag", ())}
+        assert InMemoryShapeFinder(store).find_shapes() == expected
+        assert InDatabaseShapeFinder(store).find_shapes() == expected
+        assert DeltaShapeFinder(store).find_shapes() == expected
+
+
+class TestShapeFinderStats:
+    """Regression tests locking in the counter semantics (per-call, no double counts)."""
+
+    def _store(self):
+        return _store_from_rows(
+            {
+                ("R", 3): [("a", "a", "b"), ("a", "b", "c"), ("d", "d", "d")],
+                ("S", 2): [("a", "a")],
+            }
+        )
+
+    def test_chunked_iteration_does_not_double_count(self):
+        store = self._store()
+        unchunked = InMemoryShapeFinder(store)
+        unchunked.find_shapes()
+        for chunk_size in (1, 2, 10):
+            chunked = InMemoryShapeFinder(store, chunk_size=chunk_size)
+            chunked.find_shapes()
+            assert chunked.stats.rows_scanned == unchunked.stats.rows_scanned == 4
+            assert chunked.stats.shapes_found == unchunked.stats.shapes_found == 4
+
+    def test_repeated_calls_reset_counters(self):
+        finder = InMemoryShapeFinder(self._store())
+        stats = finder.stats  # held reference must stay valid across calls
+        finder.find_shapes()
+        finder.find_shapes()
+        assert stats is finder.stats
+        assert stats.rows_scanned == 4
+        assert stats.shapes_found == 4
+
+    def test_in_database_repeated_calls_reset_counters(self):
+        finder = InDatabaseShapeFinder(self._store())
+        finder.find_shapes()
+        first = (finder.stats.queries_issued, finder.stats.relaxed_queries_issued)
+        finder.find_shapes()
+        assert (finder.stats.queries_issued, finder.stats.relaxed_queries_issued) == first
+
+    def test_relaxed_queries_count_toward_queries_issued(self):
+        # S/2 with one tuple (a,a): the relaxed pair query for (1,2), the
+        # exact query for shape (1,2), then the relaxed + exact queries for
+        # shape (1,1).  Every one of the four is a query issued against the
+        # store, so queries_issued counts them all; relaxed_queries_issued
+        # is the relaxed subset.
+        store = _store_from_rows({("S", 2): [("a", "a")]})
+        finder = InDatabaseShapeFinder(store)
+        finder.find_shapes()
+        assert finder.stats.relaxed_queries_issued == 2
+        assert finder.stats.queries_issued == 4
+        assert finder.stats.queries_issued >= finder.stats.relaxed_queries_issued
+
+
+class TestDeltaShapeFinder:
+    def _ladder_store(self):
+        return _store_from_rows(
+            {
+                ("R", 3): [
+                    ("a", "b", "c"),
+                    ("a", "a", "b"),
+                    ("d", "d", "d"),
+                    ("a", "b", "a"),
+                ],
+                ("S", 2): [("a", "b"), ("a", "a")],
+                ("T", 1): [("x",)],
+            }
+        )
+
+    def test_matches_in_memory_on_every_view(self):
+        store = self._ladder_store()
+        finder = DeltaShapeFinder(store)
+        for limit in (1, 2, 3, 4):
+            view = PrefixView(store, limit)
+            assert finder.shapes_for(view) == InMemoryShapeFinder(view).find_shapes()
+
+    def test_scans_only_delta_rows(self):
+        store = self._ladder_store()
+        finder = DeltaShapeFinder(store)
+        finder.shapes_for(PrefixView(store, 2))
+        assert finder.stats.rows_scanned == 5  # 2 + 2 + 1
+        finder.shapes_for(PrefixView(store, 4))
+        assert finder.stats.rows_scanned == 2  # only R grows past 2 rows
+
+    def test_non_monotone_queries_answered_from_index(self):
+        store = self._ladder_store()
+        finder = DeltaShapeFinder(store)
+        large = finder.shapes_for(PrefixView(store, 4))
+        small = finder.shapes_for(PrefixView(store, 1))
+        assert finder.stats.rows_scanned == 0  # no rescan for the smaller prefix
+        assert small == InMemoryShapeFinder(PrefixView(store, 1)).find_shapes()
+        assert small <= large
+
+    def test_respects_predicate_restriction(self):
+        store = self._ladder_store()
+        finder = DeltaShapeFinder(store)
+        view = PrefixView(store, 4, predicates=["R"])
+        assert finder.shapes_for(view) == InMemoryShapeFinder(view).find_shapes()
+        assert all(shape.predicate_name == "R" for shape in finder.shapes_for(view))
+
+    def test_rejects_views_over_other_stores(self):
+        finder = DeltaShapeFinder(self._ladder_store())
+        other = self._ladder_store()
+        with pytest.raises(ValueError):
+            finder.shapes_for(PrefixView(other, 2))
+
+    def test_whole_store_find_shapes_interface(self):
+        store = self._ladder_store()
+        assert DeltaShapeFinder(store).find_shapes() == InMemoryShapeFinder(store).find_shapes()
+
+    def test_new_rows_appended_after_scan_are_picked_up(self):
+        store = self._ladder_store()
+        finder = DeltaShapeFinder(store)
+        finder.shapes_for(PrefixView(store, 10))
+        store.relation("T").insert(("y",))
+        store.insert("S", ("c", "c"))
+        view = PrefixView(store, 10)
+        assert finder.shapes_for(view) == InMemoryShapeFinder(view).find_shapes()

@@ -106,6 +106,108 @@ class TestRunCommand:
         assert "LUBM-1" in capsys.readouterr().out
 
 
+class TestErrorPaths:
+    """Unknown flag values must exit non-zero with a readable message."""
+
+    def _assert_argparse_rejects(self, argv, capsys, fragment):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        stderr = capsys.readouterr().err
+        assert "invalid choice" in stderr
+        assert fragment in stderr
+
+    def test_unknown_backend(self, rule_file, capsys):
+        self._assert_argparse_rejects(
+            ["chase", "--rules", str(rule_file), "--backend", "oracle"], capsys, "oracle"
+        )
+
+    def test_unknown_strategy(self, rule_file, capsys):
+        self._assert_argparse_rejects(
+            ["chase", "--rules", str(rule_file), "--strategy", "psychic"], capsys, "psychic"
+        )
+
+    def test_unknown_variant(self, rule_file, capsys):
+        self._assert_argparse_rejects(
+            ["chase", "--rules", str(rule_file), "--variant", "turbo"], capsys, "turbo"
+        )
+
+    def test_unknown_check_algorithm(self, rule_file, capsys):
+        self._assert_argparse_rejects(
+            ["check", "--rules", str(rule_file), "--algorithm", "magic"], capsys, "magic"
+        )
+
+    def test_unknown_run_preset(self, capsys):
+        self._assert_argparse_rejects(
+            ["run", "figure1", "--preset", "galactic"], capsys, "galactic"
+        )
+
+    def test_unknown_sweep_preset(self, capsys):
+        self._assert_argparse_rejects(
+            ["sweep", "--preset", "galactic"], capsys, "galactic"
+        )
+
+    def test_unknown_sweep_kind(self, capsys):
+        assert main(["sweep", "--kinds", "sl,bogus"]) == 2
+        stderr = capsys.readouterr().err
+        assert "bogus" in stderr and "sl,l" in stderr
+
+    def test_empty_sweep_kinds(self, capsys):
+        assert main(["sweep", "--kinds", ","]) == 2
+        assert "subset" in capsys.readouterr().err
+
+    def test_sweep_invalid_workers(self, capsys):
+        assert main(["sweep", "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_sweep_invalid_limit(self, capsys):
+        assert main(["sweep", "--limit", "0"]) == 2
+        assert "--limit" in capsys.readouterr().err
+
+    def test_sweep_checkpoint_config_mismatch(self, tmp_path, capsys):
+        checkpoint = tmp_path / "sweep.jsonl"
+        assert main(
+            ["sweep", "--kinds", "sl", "--checkpoint", str(checkpoint), "--limit", "1"]
+        ) == 3
+        capsys.readouterr()
+        # Same checkpoint, different sweep mode: refused with a readable message.
+        assert main(
+            ["sweep", "--kinds", "l", "--checkpoint", str(checkpoint), "--limit", "1"]
+        ) == 2
+        assert "different sweep configuration" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_sweep_smoke_runs_and_summarises(self, capsys, tmp_path):
+        csv_path = tmp_path / "sweep.csv"
+        code = main(
+            ["sweep", "--preset", "smoke", "--kinds", "sl", "--csv", str(csv_path)]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "sweep[sl]" in output
+        assert "0 pending" in output
+        assert csv_path.exists()
+
+    def test_sweep_resumes_from_checkpoint(self, capsys, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        assert (
+            main(
+                ["sweep", "--preset", "smoke", "--kinds", "sl",
+                 "--checkpoint", str(checkpoint), "--limit", "3"]
+            )
+            == 3
+        )
+        first = capsys.readouterr().out
+        assert "3 task(s) done" in first
+        assert (
+            main(["sweep", "--preset", "smoke", "--kinds", "sl", "--checkpoint", str(checkpoint)])
+            == 0
+        )
+        second = capsys.readouterr().out
+        assert "(3 resumed)" in second and "0 pending" in second
+
+
 class TestListCommand:
     def test_lists_experiments_and_presets(self, capsys):
         assert main(["list"]) == 0
