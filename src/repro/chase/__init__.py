@@ -3,13 +3,16 @@
 from .bounds import bell_number, chase_size_bound, static_simplification_size_bound
 from .engine import (
     BACKENDS,
+    ENGINE_CLASSES,
     ChaseEngine,
     ObliviousChase,
     RestrictedChase,
     SemiObliviousChase,
     chase,
+    resolve_engine_class,
     satisfies,
 )
+from .parallel import EXECUTORS, ParallelChaseExecutor, parallel_chase
 from .matching import (
     STRATEGIES,
     IndexedTriggerSource,
@@ -25,8 +28,13 @@ from .triggers import Trigger, trigger_count, triggers_on
 
 __all__ = [
     "BACKENDS",
+    "ENGINE_CLASSES",
+    "EXECUTORS",
     "STRATEGIES",
     "ChaseEngine",
+    "ParallelChaseExecutor",
+    "parallel_chase",
+    "resolve_engine_class",
     "IndexedTriggerSource",
     "JoinPlan",
     "NaiveTriggerSource",

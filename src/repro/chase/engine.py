@@ -227,6 +227,27 @@ class RestrictedChase(ChaseEngine):
         return not has_homomorphism(trigger.tgd.head, store, base=base)
 
 
+#: Chase variant -> engine class (public so the parallel executor can reuse
+#: the firing policies without re-implementing them).
+ENGINE_CLASSES = {
+    "oblivious": ObliviousChase,
+    "semi-oblivious": SemiObliviousChase,
+    "semi_oblivious": SemiObliviousChase,
+    "restricted": RestrictedChase,
+}
+
+
+def resolve_engine_class(variant: str):
+    """Return the engine class for *variant* or raise ``ValueError``."""
+    try:
+        return ENGINE_CLASSES[variant]
+    except KeyError:
+        raise ValueError(
+            f"unknown chase variant {variant!r}; "
+            f"expected one of {sorted(set(ENGINE_CLASSES))}"
+        ) from None
+
+
 def chase(
     database: Database,
     tgds: TGDSet,
@@ -236,6 +257,8 @@ def chase(
     strategy: str = "indexed",
     backend: str = "instance",
     store=None,
+    workers: int = 1,
+    executor: str = "auto",
 ) -> ChaseResult:
     """Run the chase of *database* with *tgds*.
 
@@ -259,19 +282,31 @@ def chase(
     store:
         An explicit :class:`~repro.storage.atom_store.AtomStore` to chase
         into; overrides *backend*.
+    workers:
+        ``1`` (default) runs the serial engine; ``> 1`` delegates to the
+        hash-partitioned parallel executor
+        (:func:`repro.chase.parallel.parallel_chase`), whose result is
+        guaranteed identical to the serial one.
+    executor:
+        Worker backend for ``workers > 1``: ``"auto"``, ``"serial"``,
+        ``"thread"``, or ``"process"`` (see :mod:`repro.chase.parallel`).
     """
-    engines = {
-        "oblivious": ObliviousChase,
-        "semi-oblivious": SemiObliviousChase,
-        "semi_oblivious": SemiObliviousChase,
-        "restricted": RestrictedChase,
-    }
-    try:
-        engine_class = engines[variant]
-    except KeyError:
-        raise ValueError(
-            f"unknown chase variant {variant!r}; expected one of {sorted(set(engines))}"
-        ) from None
+    engine_class = resolve_engine_class(variant)
+    if workers != 1:
+        from .parallel import parallel_chase
+
+        return parallel_chase(
+            database,
+            tgds,
+            variant=variant,
+            workers=workers,
+            limits=limits,
+            on_limit=on_limit,
+            strategy=strategy,
+            backend=backend,
+            store=store,
+            executor=executor,
+        )
     if store is None:
         if backend == "relational":
             from ..storage.database import RelationalDatabase

@@ -141,7 +141,7 @@ class JoinPlan:
     body atoms by selectivity-ordered index intersection.
     """
 
-    __slots__ = ("body", "seed_slot", "_others")
+    __slots__ = ("body", "seed_slot", "_others", "partition_positions")
 
     def __init__(self, body: Sequence[Atom], seed_slot: int):
         self.body = tuple(body)
@@ -149,6 +149,24 @@ class JoinPlan:
             raise ValueError(f"seed slot {seed_slot} out of range for {len(self.body)}-atom body")
         self.seed_slot = seed_slot
         self._others = tuple(i for i in range(len(self.body)) if i != seed_slot)
+        # The join-key positions of the seed atom: positions holding a
+        # variable that also occurs in another body atom.  The parallel
+        # chase hash-partitions seed atoms by the terms at these positions
+        # (K-Join-style: seeds sharing a join key land on the same worker);
+        # for linear TGDs there is no join, so the whole term tuple is the
+        # key (empty tuple = "hash all positions" by convention).
+        seed = self.body[seed_slot]
+        other_variables = {
+            term
+            for slot in self._others
+            for term in self.body[slot].terms
+            if not isinstance(term, Constant)
+        }
+        self.partition_positions = tuple(
+            position
+            for position, term in enumerate(seed.terms)
+            if not isinstance(term, Constant) and term in other_variables
+        )
 
     def __repr__(self):
         return f"JoinPlan(seed={self.body[self.seed_slot]!r}, body={len(self.body)} atoms)"

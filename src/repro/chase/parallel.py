@@ -1,0 +1,584 @@
+"""Hash-partitioned parallel chase execution.
+
+The serial engines of :mod:`repro.chase.engine` spend each breadth-first
+round matching TGD bodies against the round's delta atoms — an
+embarrassingly parallel join.  This module fans that matching out across a
+worker pool the way the shared-nothing parallel-join literature (K-Join,
+near-optimal parallel binary joins) distributes probe work:
+
+* **partitioning** — every unit of match work is a ``(JoinPlan, seed atom)``
+  pair; it is assigned to the worker owning the stable hash of the seed
+  atom's terms at the plan's join-key positions
+  (:attr:`~repro.chase.matching.JoinPlan.partition_positions`), so seeds
+  sharing a join key land on the same worker.  Round 0 does not ship seeds
+  at all: each worker scans its own partition of every seed relation
+  through ``AtomStore.atoms_partition``;
+* **workers** — threads sharing the coordinator's store for the in-memory
+  :class:`~repro.core.instances.Instance` backend, processes holding full
+  per-worker store replicas for the
+  :class:`~repro.storage.database.RelationalDatabase` backend (replicas
+  receive each round's merged delta and stay in lock-step with the
+  coordinator).  On GIL builds of CPython the thread pool cannot speed up
+  the pure-Python matching itself — it exists for protocol coverage and
+  for free-threaded/partially-native futures; force ``executor="process"``
+  (works for either backend) when real core-parallelism is wanted today;
+* **deterministic merge** — workers report the *firing keys* they
+  considered and, per key, the trigger's result atoms.  Because firing
+  keys, head atoms, and invented nulls are all functions of the key alone
+  (content-addressed :class:`~repro.core.terms.NullFactory` naming), the
+  merged round is a set union that does not depend on worker count,
+  scheduling, or enumeration order — the ``ChaseResult`` (atoms, null
+  names, rounds, trigger counts) is *identical* to the serial engine's.
+
+The coordinator owns the authoritative store and all budget accounting;
+workers never mutate shared state beyond their own replica.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from concurrent import futures
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.atoms import Atom
+from ..core.indexing import atom_partition_of
+from ..core.instances import Database, Instance
+from ..core.substitutions import Substitution
+from ..core.terms import Null, NullFactory
+from ..core.tgds import TGD, TGDSet
+from ..exceptions import ChaseLimitExceeded
+from .engine import BACKENDS, ChaseEngine, resolve_engine_class
+from .matching import JoinPlan
+from .result import ChaseLimits, ChaseResult
+from .triggers import Trigger
+
+#: Worker backends accepted by :func:`parallel_chase`.
+EXECUTORS = ("auto", "serial", "thread", "process")
+
+#: A worker's report for one round: the firing keys it considered (new to
+#: it) and, for the keys that passed the variant's firing policy, the
+#: trigger's result atoms.
+RoundReport = Tuple[List[object], List[Tuple[object, Tuple[Atom, ...]]]]
+
+
+class _PlanEntry:
+    """One (TGD, body slot) join plan with its stable identifier."""
+
+    __slots__ = ("plan_id", "tgd_index", "tgd", "plan")
+
+    def __init__(self, plan_id: int, tgd_index: int, tgd: TGD, plan: JoinPlan):
+        self.plan_id = plan_id
+        self.tgd_index = tgd_index
+        self.tgd = tgd
+        self.plan = plan
+
+
+class _PlanTable:
+    """All join plans of a TGD set, keyed identically in every worker.
+
+    Plan ids are assigned in (TGD, slot) order, so a coordinator and its
+    process replicas — each building the table from the same TGD tuple —
+    agree on what every ``plan_id`` in a work item refers to.
+    """
+
+    def __init__(self, tgds: Sequence[TGD]):
+        self.tgds = tuple(tgds)
+        self.entries: List[_PlanEntry] = []
+        self.by_predicate: Dict[object, List[_PlanEntry]] = {}
+        self.initial_entries: List[_PlanEntry] = []
+        for tgd_index, tgd in enumerate(self.tgds):
+            for slot, atom in enumerate(tgd.body):
+                entry = _PlanEntry(
+                    len(self.entries), tgd_index, tgd, JoinPlan(tgd.body, slot)
+                )
+                self.entries.append(entry)
+                self.by_predicate.setdefault(atom.predicate, []).append(entry)
+                if slot == 0:
+                    self.initial_entries.append(entry)
+
+
+class _MatchWorker:
+    """Trigger matching over one partition of the round's work.
+
+    Runs inline (serial mode), on a pool thread against the shared store
+    (thread mode), or inside a worker process against a private replica
+    (process mode).  ``reported_keys`` caches the firing keys this worker
+    has already sent upstream so it never reports the same key twice; the
+    coordinator still performs the authoritative cross-worker dedup.
+    """
+
+    def __init__(self, worker_id: int, n_workers: int, tgds: Sequence[TGD], variant: str, store):
+        self.worker_id = worker_id
+        self.n_workers = n_workers
+        self.store = store
+        self.table = _PlanTable(tgds)
+        self.policy: ChaseEngine = resolve_engine_class(variant)()
+        self.null_factory = NullFactory()
+        self.reported_keys: Set[object] = set()
+
+    def initial_round(self) -> RoundReport:
+        """Match every body homomorphism whose slot-0 atom this worker owns.
+
+        Seeding only slot-0 plans (with no delta constraint) enumerates each
+        homomorphism exactly once, and the partitioned relation scan splits
+        that enumeration across workers without any coordinator shipping.
+        """
+        considered: List[object] = []
+        fired: List[Tuple[object, Tuple[Atom, ...]]] = []
+        for entry in self.table.initial_entries:
+            plan = entry.plan
+            seeds = self.store.atoms_partition(
+                plan.body[0].predicate,
+                plan.partition_positions,
+                self.n_workers,
+                self.worker_id,
+            )
+            for seed in seeds:
+                for mapping in plan.matches(self.store, seed):
+                    self._consider(entry, mapping, considered, fired)
+        return considered, fired
+
+    def delta_round(
+        self,
+        delta_atoms: Sequence[Atom],
+        work_items: Sequence[Tuple[int, int]],
+        apply_delta: bool,
+    ) -> RoundReport:
+        """Execute this worker's share of one delta round.
+
+        *work_items* are ``(plan_id, delta_index)`` pairs; *apply_delta*
+        is true in process mode, where the worker must first fold the
+        round's merged atoms into its private replica (thread workers share
+        the coordinator's store, which already holds them).
+        """
+        if apply_delta:
+            for atom in delta_atoms:
+                self.store.add_atom(atom)
+        delta = set(delta_atoms)
+        considered: List[object] = []
+        fired: List[Tuple[object, Tuple[Atom, ...]]] = []
+        for plan_id, delta_index in work_items:
+            entry = self.table.entries[plan_id]
+            seed = delta_atoms[delta_index]
+            for mapping in entry.plan.matches(self.store, seed, delta=delta):
+                self._consider(entry, mapping, considered, fired)
+        return considered, fired
+
+    def _consider(self, entry: _PlanEntry, mapping, considered, fired) -> None:
+        trigger = Trigger(entry.tgd, entry.tgd_index, Substitution(mapping))
+        key = self.policy._firing_key(trigger)
+        if key in self.reported_keys:
+            return
+        self.reported_keys.add(key)
+        considered.append(key)
+        if self.policy._should_fire(trigger, self.store, self.reported_keys):
+            fired.append(
+                (key, trigger.result(self.null_factory, null_scope=self.policy.null_scope))
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Worker pools
+
+
+class _SerialPool:
+    """In-process pool: the same partition workers, run sequentially.
+
+    Used for ``workers == 1`` and for ``executor="serial"`` (any worker
+    count) — the latter exercises the exact partitioning and merge protocol
+    of the concurrent pools without threads or processes, which is what the
+    determinism tests lean on.
+    """
+
+    def __init__(self, workers: int, tgds, variant, store):
+        self.workers = workers
+        self._match_workers = [
+            _MatchWorker(worker_id, workers, tgds, variant, store)
+            for worker_id in range(workers)
+        ]
+
+    def initial(self) -> List[RoundReport]:
+        return [worker.initial_round() for worker in self._match_workers]
+
+    def delta(self, delta_atoms, work_by_worker) -> List[RoundReport]:
+        return [
+            worker.delta_round(
+                delta_atoms, work_by_worker[worker.worker_id], apply_delta=False
+            )
+            for worker in self._match_workers
+        ]
+
+    def close(self) -> None:
+        pass
+
+
+class _ThreadPool:
+    """Thread workers sharing the coordinator's store (in-memory backend).
+
+    Safe because rounds are phased: worker threads only *read* the store
+    while matching, and the coordinator adds the merged atoms strictly
+    between rounds.  Position indexes are pre-warmed before the first round
+    so no lazily-built index is constructed concurrently.
+    """
+
+    def __init__(self, workers: int, tgds, variant, store):
+        self.workers = workers
+        self._pool = futures.ThreadPoolExecutor(max_workers=workers)
+        self._match_workers = [
+            _MatchWorker(worker_id, workers, tgds, variant, store)
+            for worker_id in range(workers)
+        ]
+        _warm_position_indexes(store, tgds)
+
+    def initial(self) -> List[RoundReport]:
+        submitted = [
+            self._pool.submit(worker.initial_round) for worker in self._match_workers
+        ]
+        return [future.result() for future in submitted]
+
+    def delta(self, delta_atoms, work_by_worker) -> List[RoundReport]:
+        submitted = [
+            self._pool.submit(
+                worker.delta_round, delta_atoms, work_by_worker[worker.worker_id], False
+            )
+            for worker in self._match_workers
+        ]
+        return [future.result() for future in submitted]
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False)
+
+
+#: A null that never occurs in any store: probing for it builds a
+#: predicate's position index without touching a real posting list.
+_INDEX_PROBE = Null("__index_probe__")
+
+
+def _warm_position_indexes(store, tgds: Sequence[TGD]) -> None:
+    """Force-build the position indexes the TGDs' predicates will need.
+
+    ``atoms_matching`` builds a predicate's index lazily on first use; doing
+    that once up front keeps worker threads from racing to build the same
+    index (harmless under the GIL, but wasteful) and keeps match latency
+    uniform across partitions.
+    """
+    predicates = set(store.predicates())
+    for tgd in tgds:
+        for atom in tgd.body + tgd.head:
+            if atom.predicate in predicates:
+                store.atoms_matching(atom.predicate, {0: _INDEX_PROBE})
+
+
+def _worker_main(conn, worker_id, n_workers, tgds, variant, backend, seed_atoms) -> None:
+    """Entry point of a process worker: build the replica, serve rounds."""
+    try:
+        if backend == "relational":
+            from ..storage.database import RelationalDatabase
+
+            store = RelationalDatabase(name=f"chase-replica-{worker_id}")
+        else:
+            store = Instance()
+        for atom in seed_atoms:
+            store.add_atom(atom)
+        worker = _MatchWorker(worker_id, n_workers, tgds, variant, store)
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "stop":
+                break
+            try:
+                if kind == "initial":
+                    report = worker.initial_round()
+                else:  # "delta"
+                    _, delta_atoms, work_items = message
+                    report = worker.delta_round(delta_atoms, work_items, apply_delta=True)
+                conn.send(("ok", report))
+            except Exception:  # pragma: no cover - defensive; surfaced by the coordinator
+                conn.send(("error", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+class _ProcessPool:
+    """Process workers with per-worker store replicas (relational backend).
+
+    Each worker holds a private same-type store seeded with the database
+    and kept in lock-step by applying every round's merged delta, so the
+    coordinator ships *work*, never the instance.  Workers are dedicated
+    processes on private pipes — unlike a task pool, round ``i``'s message
+    to worker ``w`` is guaranteed to be processed by the same replica that
+    saw rounds ``< i``.
+    """
+
+    def __init__(self, workers: int, tgds, variant, backend: str, seed_atoms):
+        self.workers = workers
+        context = multiprocessing.get_context()
+        self._connections = []
+        self._processes = []
+        try:
+            for worker_id in range(workers):
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(
+                        child_conn,
+                        worker_id,
+                        workers,
+                        tuple(tgds),
+                        variant,
+                        backend,
+                        tuple(seed_atoms),
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._connections.append(parent_conn)
+                self._processes.append(process)
+        except Exception:
+            self.close()
+            raise
+
+    def _collect(self) -> List[RoundReport]:
+        reports = []
+        for connection in self._connections:
+            status, payload = connection.recv()
+            if status != "ok":
+                raise RuntimeError(f"parallel chase worker failed:\n{payload}")
+            reports.append(payload)
+        return reports
+
+    def initial(self) -> List[RoundReport]:
+        for connection in self._connections:
+            connection.send(("initial",))
+        return self._collect()
+
+    def delta(self, delta_atoms, work_by_worker) -> List[RoundReport]:
+        for worker_id, connection in enumerate(self._connections):
+            connection.send(("delta", delta_atoms, work_by_worker[worker_id]))
+        return self._collect()
+
+    def close(self) -> None:
+        for connection in self._connections:
+            try:
+                connection.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            connection.close()
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=5)
+
+
+# --------------------------------------------------------------------------- #
+# The coordinator
+
+
+class ParallelChaseExecutor:
+    """Coordinator of the hash-partitioned parallel chase.
+
+    Owns the authoritative store, the global firing-key set, and the budget
+    accounting; delegates per-round matching to a worker pool.  The merge
+    step is order-insensitive (see the module docstring), which is what
+    makes the result identical across worker counts, executors, and
+    backends.
+    """
+
+    def __init__(
+        self,
+        variant: str = "semi-oblivious",
+        workers: int = 2,
+        limits: Optional[ChaseLimits] = None,
+        on_limit: str = "return",
+        executor: str = "auto",
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if on_limit not in ("return", "raise"):
+            raise ValueError("on_limit must be 'return' or 'raise'")
+        if executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        resolve_engine_class(variant)  # validate eagerly
+        self.variant = variant
+        self.workers = workers
+        self.limits = limits if limits is not None else ChaseLimits()
+        self.on_limit = on_limit
+        self.executor = executor
+
+    # ------------------------------------------------------------------ #
+
+    def _make_pool(self, tgds, store):
+        from ..storage.database import RelationalDatabase
+
+        executor = self.executor
+        if executor == "auto":
+            if self.workers == 1:
+                executor = "serial"
+            else:
+                executor = (
+                    "process" if isinstance(store, RelationalDatabase) else "thread"
+                )
+        if executor == "serial" or self.workers == 1:
+            return _SerialPool(self.workers, tgds, self.variant, store)
+        if executor == "thread":
+            return _ThreadPool(self.workers, tgds, self.variant, store)
+        backend = (
+            "relational" if isinstance(store, RelationalDatabase) else "instance"
+        )
+        # Only process replicas need the seed shipped; sorting makes the
+        # per-worker replica construction order deterministic.
+        seed_atoms = sorted(store.iter_atoms())
+        return _ProcessPool(self.workers, tgds, self.variant, backend, seed_atoms)
+
+    def _partition_work(
+        self, table: _PlanTable, delta_atoms: Sequence[Atom]
+    ) -> List[List[Tuple[int, int]]]:
+        """Assign every (plan, delta atom) pair to its owning worker."""
+        work: List[List[Tuple[int, int]]] = [[] for _ in range(self.workers)]
+        for delta_index, atom in enumerate(delta_atoms):
+            for entry in table.by_predicate.get(atom.predicate, ()):
+                owner = atom_partition_of(
+                    atom, entry.plan.partition_positions, self.workers
+                )
+                work[owner].append((entry.plan_id, delta_index))
+        return work
+
+    def run(self, database: Database, tgds: TGDSet, store=None) -> ChaseResult:
+        """Run the parallel chase; same contract as :meth:`ChaseEngine.run`."""
+        tgd_list = tuple(tgds)
+        if store is None:
+            store = Instance()
+        for atom in database.atoms():
+            store.add_atom(atom)
+        table = _PlanTable(tgd_list)
+        fired_keys: Set[object] = set()
+
+        rounds = 0
+        atoms_created = 0
+        triggers_fired = 0
+        delta: Optional[List[Atom]] = None  # None = first round
+
+        pool = self._make_pool(tgd_list, store)
+        try:
+            while True:
+                if self.limits.round_budget_exceeded(rounds + 1):
+                    return self._stopped(
+                        store, rounds, atoms_created, triggers_fired, "max_rounds"
+                    )
+                if delta is None:
+                    reports = pool.initial()
+                else:
+                    reports = pool.delta(delta, self._partition_work(table, delta))
+
+                # Order-insensitive merge: what a key fires (and whether it
+                # does) is a function of the key alone, so "first worker
+                # wins" and "union of everything" coincide.
+                round_keys: List[object] = []
+                fired_by_key: Dict[object, Tuple[Atom, ...]] = {}
+                for considered, fired in reports:
+                    round_keys.extend(considered)
+                    for key, atoms in fired:
+                        fired_by_key.setdefault(key, atoms)
+
+                new_atoms: Set[Atom] = set()
+                for key, atoms in fired_by_key.items():
+                    if key in fired_keys:
+                        continue
+                    triggers_fired += 1
+                    for atom in atoms:
+                        if atom not in new_atoms and not store.has_atom(atom):
+                            new_atoms.add(atom)
+                fired_keys.update(round_keys)
+
+                if not new_atoms:
+                    return ChaseResult(
+                        instance=ChaseEngine._materialize(store),
+                        terminated=True,
+                        rounds=rounds,
+                        atoms_created=atoms_created,
+                        triggers_fired=triggers_fired,
+                        stop_reason="fixpoint",
+                        store=store,
+                    )
+                for atom in new_atoms:
+                    store.add_atom(atom)
+                atoms_created += len(new_atoms)
+                rounds += 1
+                if self.limits.atom_budget_exceeded(store.atom_count()):
+                    return self._stopped(
+                        store, rounds, atoms_created, triggers_fired, "max_atoms"
+                    )
+                delta = sorted(new_atoms)
+        finally:
+            pool.close()
+
+    def _stopped(self, store, rounds, atoms_created, triggers_fired, reason) -> ChaseResult:
+        if self.on_limit == "raise":
+            raise ChaseLimitExceeded(
+                f"{self.variant} chase exceeded its {reason} budget",
+                atoms_created=atoms_created,
+                rounds=rounds,
+            )
+        return ChaseResult(
+            instance=ChaseEngine._materialize(store),
+            terminated=False,
+            rounds=rounds,
+            atoms_created=atoms_created,
+            triggers_fired=triggers_fired,
+            stop_reason=reason,
+            store=store,
+        )
+
+
+def parallel_chase(
+    database: Database,
+    tgds: TGDSet,
+    variant: str = "semi-oblivious",
+    workers: int = 2,
+    limits: Optional[ChaseLimits] = None,
+    on_limit: str = "return",
+    strategy: str = "indexed",
+    backend: str = "instance",
+    store=None,
+    executor: str = "auto",
+) -> ChaseResult:
+    """Run the hash-partitioned parallel chase of *database* with *tgds*.
+
+    Accepts the same parameters as :func:`repro.chase.engine.chase` plus
+
+    workers:
+        Number of partition workers (``1`` degenerates to an in-process
+        run through the same partition/merge machinery).
+    executor:
+        ``"auto"`` (default) picks threads for the in-memory backend and
+        processes with per-worker store replicas for the relational one;
+        ``"serial"`` / ``"thread"`` / ``"process"`` force a pool kind.
+
+    The result is guaranteed identical — atoms, null names, round and
+    trigger counts — to the serial engine's, for every worker count and
+    executor kind.
+    """
+    if strategy != "indexed":
+        raise ValueError(
+            f"the parallel chase runs the indexed trigger engine only, got {strategy!r}"
+        )
+    if store is None:
+        if backend == "relational":
+            from ..storage.database import RelationalDatabase
+
+            store = RelationalDatabase(name="chase")
+        elif backend != "instance":
+            raise ValueError(
+                f"unknown chase backend {backend!r}; expected one of {BACKENDS}"
+            )
+    coordinator = ParallelChaseExecutor(
+        variant=variant,
+        workers=workers,
+        limits=limits,
+        on_limit=on_limit,
+        executor=executor,
+    )
+    return coordinator.run(database, tgds, store=store)

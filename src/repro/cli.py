@@ -25,10 +25,13 @@ Examples
     repro-experiments check --rules rules.txt --facts data.txt
     repro-experiments chase --rules rules.txt --facts data.txt --variant restricted
     repro-experiments chase --rules rules.txt --strategy naive --backend relational
+    repro-experiments chase --rules rules.txt --parallel 4
+    repro-experiments chase --rules rules.txt --parallel 4 --backend relational --executor process
     repro-experiments run figure1 --preset smoke
     repro-experiments run table2 --csv table2.csv
     repro-experiments sweep --preset smoke --workers 4 --checkpoint sweep.jsonl
     repro-experiments sweep --kinds l --from-scratch --csv sweep.csv
+    repro-experiments sweep --kinds chase --chase-workers 4
 """
 
 from __future__ import annotations
@@ -40,6 +43,7 @@ from typing import List, Optional
 
 from .chase.engine import BACKENDS, chase
 from .chase.matching import STRATEGIES
+from .chase.parallel import EXECUTORS
 from .chase.result import ChaseLimits
 from .core.instances import Database, induced_database
 from .core.parser import load_database, load_rules
@@ -95,6 +99,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     chase_cmd.add_argument("--max-atoms", type=int, default=100_000, help="atom budget (default: 100000)")
     chase_cmd.add_argument("--max-rounds", type=int, help="round budget (default: unlimited)")
+    chase_cmd.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="hash-partitioned chase workers; the result is identical for every N (default: 1)",
+    )
+    chase_cmd.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default="auto",
+        help="worker pool kind for --parallel > 1: threads for the instance "
+        "backend, processes with store replicas for the relational one (default: auto)",
+    )
 
     run = subparsers.add_parser("run", help="regenerate a figure, table, or ablation")
     run.add_argument("experiment", help="experiment id (see 'list')")
@@ -117,7 +135,16 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--kinds",
         default=",".join(SWEEP_KINDS),
-        help="comma-separated workload kinds: sl, l (default: both)",
+        help="comma-separated workload kinds: sl, l, chase (default: all)",
+    )
+    sweep.add_argument(
+        "--chase-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallel-chase workers per 'chase' task; aggregate tables are "
+        "identical for every N (raw rows keep the timing and worker count) "
+        "(default: 1)",
     )
     sweep.add_argument(
         "--checkpoint",
@@ -172,6 +199,16 @@ def _command_chase(args) -> int:
     else:
         database = induced_database(tgds)
 
+    if args.parallel < 1:
+        print("--parallel must be >= 1", file=sys.stderr)
+        return 2
+    if args.parallel > 1 and args.strategy != "indexed":
+        print(
+            "--parallel runs the indexed trigger engine; drop --strategy naive "
+            "or use --parallel 1",
+            file=sys.stderr,
+        )
+        return 2
     limits = ChaseLimits(max_atoms=args.max_atoms, max_rounds=args.max_rounds)
     start = time.perf_counter()
     result = chase(
@@ -181,11 +218,14 @@ def _command_chase(args) -> int:
         limits=limits,
         strategy=args.strategy,
         backend=args.backend,
+        workers=args.parallel,
+        executor=args.executor,
     )
     elapsed = time.perf_counter() - start
 
+    pool = f"/{args.parallel}w" if args.parallel != 1 else ""
     status = "reached a fixpoint" if result.terminated else f"stopped ({result.stop_reason})"
-    print(f"{args.variant} chase [{args.strategy}/{args.backend}]: {status}")
+    print(f"{args.variant} chase [{args.strategy}/{args.backend}{pool}]: {status}")
     print(f"  rounds: {result.rounds}")
     print(f"  triggers_fired: {result.triggers_fired}")
     print(f"  atoms_created: {result.atoms_created}")
@@ -200,13 +240,15 @@ def _command_run(args) -> int:
         print(f"unknown experiment {args.experiment!r}; run 'repro-experiments list'", file=sys.stderr)
         return 2
     runner = runners[args.experiment]
-    if args.experiment.startswith("table"):
-        names = args.scenarios.split(",") if args.scenarios else None
-        rows = runner(names=names, scale=args.scale)
-    elif args.experiment in ABLATION_RUNNERS:
-        rows = runner(preset(args.preset))
-    else:
-        rows = runner(preset(args.preset))
+    try:
+        if args.experiment.startswith("table"):
+            names = args.scenarios.split(",") if args.scenarios else None
+            rows = runner(names=names, scale=args.scale)
+        else:
+            rows = runner(preset(args.preset))
+    except ExperimentConfigError as error:
+        print(f"run failed: {error}", file=sys.stderr)
+        return 2
     if args.csv:
         write_csv(rows, args.csv)
         print(f"wrote {len(rows)} rows to {args.csv}")
@@ -230,6 +272,9 @@ def _command_sweep(args) -> int:
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
+    if args.chase_workers < 1:
+        print("--chase-workers must be >= 1", file=sys.stderr)
+        return 2
     if args.limit is not None and args.limit < 1:
         print("--limit must be >= 1", file=sys.stderr)
         return 2
@@ -242,6 +287,7 @@ def _command_sweep(args) -> int:
             incremental=not args.from_scratch,
             max_tasks=args.limit,
             progress=print,
+            chase_workers=args.chase_workers,
         )
     except ExperimentConfigError as error:
         print(f"sweep failed: {error}", file=sys.stderr)

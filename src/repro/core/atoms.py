@@ -41,6 +41,11 @@ class Atom:
     def __setattr__(self, key, value):
         raise AttributeError("Atom is immutable")
 
+    def __reduce__(self):
+        # Rebuild through __init__ (immutability forbids the default
+        # slot-state protocol); needed to ship atoms to process workers.
+        return (type(self), (self.predicate, self.terms))
+
     @classmethod
     def of(cls, name: str, *terms: Term) -> "Atom":
         """Convenience constructor: ``Atom.of("R", x, y)`` builds ``R(x, y)``."""

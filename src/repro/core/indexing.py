@@ -10,7 +10,8 @@ incrementally), and the trigger engine's join resolves candidates through
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+import zlib
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from .atoms import Atom
 from .terms import Term
@@ -58,3 +59,28 @@ class PositionIndex:
             for atom in smallest
             if all(atom.terms[position] == term for position, term in items)
         ]
+
+
+def partition_hash(terms: Sequence[Term]) -> int:
+    """Return a stable, process-independent hash of a tuple of ground terms.
+
+    The parallel chase assigns join work to workers by hashing the terms at a
+    plan's join-key positions.  Python's builtin ``hash`` is randomized per
+    interpreter (PYTHONHASHSEED), which would make worker assignment differ
+    between the coordinator and its process replicas, so the partition hash
+    is a CRC over a type-tagged encoding of the term names instead.
+    """
+    payload = "\x1f".join(f"{type(term).__name__}\x1e{term.name}" for term in terms)
+    return zlib.crc32(payload.encode("utf-8"))
+
+
+def atom_partition_of(atom: Atom, key_positions: Sequence[int], n_partitions: int) -> int:
+    """Return the partition (``0 <= p < n_partitions``) that owns *atom*.
+
+    *key_positions* names the argument positions forming the partition key;
+    an empty sequence hashes the whole term tuple.
+    """
+    if n_partitions <= 1:
+        return 0
+    terms = atom.terms if not key_positions else tuple(atom.terms[p] for p in key_positions)
+    return partition_hash(terms) % n_partitions

@@ -12,7 +12,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional,
 
 from ..exceptions import ValidationError
 from .atoms import Atom
-from .indexing import PositionIndex
+from .indexing import PositionIndex, atom_partition_of
 from .predicates import Predicate, Schema
 from .terms import Constant, Null, Term
 
@@ -135,6 +135,31 @@ class Instance:
         if not bindings:
             return bucket
         return self._ensure_position_index(predicate).lookup(bindings)
+
+    def atoms_partition(
+        self,
+        predicate: Predicate,
+        key_positions: Tuple[int, ...],
+        n_partitions: int,
+        partition_index: int,
+    ) -> Iterator[Atom]:
+        """Yield the atoms over *predicate* owned by one hash partition.
+
+        Partition membership is decided by the stable
+        :func:`~repro.core.indexing.partition_hash` of the terms at
+        *key_positions* (the whole term tuple when empty), so every store —
+        coordinator or per-worker replica — agrees on who owns which atom.
+        The parallel chase uses this for its partitioned initial-round scans.
+        """
+        bucket = self._by_predicate.get(predicate)
+        if not bucket:
+            return
+        if n_partitions <= 1:
+            yield from bucket
+            return
+        for atom in bucket:
+            if atom_partition_of(atom, key_positions, n_partitions) == partition_index:
+                yield atom
 
     # ------------------------------------------------------------------ #
     # AtomStore protocol surface (see repro.storage.atom_store)

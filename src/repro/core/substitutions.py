@@ -38,6 +38,11 @@ class Substitution:
     def __setattr__(self, key, value):
         raise AttributeError("Substitution is immutable")
 
+    def __reduce__(self):
+        # Rebuild through __init__; the default protocol trips over
+        # immutability.  Lets triggers cross process boundaries.
+        return (type(self), (self._mapping,))
+
     def __getitem__(self, term: Term) -> Term:
         if isinstance(term, Constant):
             return term

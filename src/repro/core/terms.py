@@ -29,6 +29,12 @@ class Term:
     def __setattr__(self, key, value):
         raise AttributeError(f"{type(self).__name__} is immutable")
 
+    def __reduce__(self):
+        # Reconstruct through __init__: the default slot-state protocol would
+        # call __setattr__, which immutability forbids.  Picklability is what
+        # lets the parallel chase ship atoms to process workers.
+        return (type(self), (self.name,))
+
     def __eq__(self, other):
         return type(self) is type(other) and self.name == other.name
 

@@ -80,6 +80,11 @@ class TGD:
     def __setattr__(self, key, value):
         raise AttributeError("TGD is immutable")
 
+    def __reduce__(self):
+        # Rebuild through __init__ (immutability forbids the default
+        # slot-state protocol); the parallel chase pickles TGDs to workers.
+        return (type(self), (self.body, self.head, self.label))
+
     def __eq__(self, other):
         return isinstance(other, TGD) and self.body == other.body and self.head == other.head
 

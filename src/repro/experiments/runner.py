@@ -38,6 +38,8 @@ from concurrent import futures
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..chase.parallel import parallel_chase
+from ..chase.result import ChaseLimits
 from ..exceptions import ExperimentConfigError
 from ..storage.shape_finder import DeltaShapeFinder, InMemoryShapeFinder
 from ..termination.incremental import IncrementalLinearChecker
@@ -46,6 +48,7 @@ from ..termination.simple_linear import is_chase_finite_sl
 from .config import ExperimentConfig
 from .reporting import format_table, group_mean
 from .workloads import (
+    build_chase_database,
     build_dstar,
     build_linear_rule_set,
     build_simple_linear_workload,
@@ -59,12 +62,21 @@ Row = Dict[str, object]
 #: Checkpoint format version (bumped on incompatible record changes).
 CHECKPOINT_VERSION = 1
 
-#: The workload kinds a sweep can cover.
-SWEEP_KINDS = ("sl", "l")
+#: The workload kinds a sweep can cover: the simple-linear grid, the linear
+#: prefix-view ladder, and the chase-materialization workload (one parallel
+#: chase per generated linear rule set).
+SWEEP_KINDS = ("sl", "l", "chase")
 
-#: Row columns that are deterministic given the configuration (no timings).
-#: Aggregate tables are built from these only, which is what makes resumed
-#: sweeps byte-identical to uninterrupted ones.
+#: Budget for ``chase`` sweep tasks: generated linear rule sets may chase
+#: forever, so every task runs under the same fixed, config-independent cap
+#: (capped tasks still yield deterministic rows — the breadth-first prefix
+#: of the chase is unique).
+CHASE_TASK_LIMITS = ChaseLimits(max_atoms=2_000, max_rounds=20)
+
+#: Row columns that are deterministic given the configuration (no timings,
+#: no worker counts).  Aggregate tables are built from these only, which is
+#: what makes resumed sweeps byte-identical to uninterrupted ones — and
+#: chase rows byte-identical across ``--chase-workers`` settings.
 DETERMINISTIC_COLUMNS = (
     "task_id",
     "kind",
@@ -76,6 +88,11 @@ DETERMINISTIC_COLUMNS = (
     "n_simplified_rules",
     "n_edges",
     "finite",
+    "terminated",
+    "rounds",
+    "atoms_created",
+    "triggers_fired",
+    "instance_size",
 )
 
 
@@ -84,7 +101,9 @@ class SweepTask:
     """One unit of sweep work: a cell of the workload grid, named by indices.
 
     ``sl`` tasks run ``IsChaseFinite[SL]`` on one generated workload; ``l``
-    tasks sweep one linear rule set across every ``D*`` prefix view.
+    tasks sweep one linear rule set across every ``D*`` prefix view;
+    ``chase`` tasks materialise one linear rule set over its ``D*`` slice
+    with the (optionally parallel) chase.
     """
 
     kind: str
@@ -114,6 +133,7 @@ def plan_sweep(config: ExperimentConfig, kinds: Sequence[str] = SWEEP_KINDS) -> 
             raise ExperimentConfigError(
                 f"unknown sweep kind {kind!r}; expected a subset of {SWEEP_KINDS}"
             )
+        # "l" and "chase" draw the same rule sets, so they share the knob.
         samples = config.sets_per_profile_sl if kind == "sl" else config.sets_per_profile_l
         for profile_index in range(len(profiles)):
             for sample_index in range(samples):
@@ -145,15 +165,23 @@ class _WorkerState:
     are scanned at most once per process no matter how many rule sets run.
     """
 
-    def __init__(self, config: ExperimentConfig, kinds: Sequence[str], incremental: bool):
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        kinds: Sequence[str],
+        incremental: bool,
+        chase_workers: int = 1,
+    ):
         self.config = config
         self.incremental = incremental
+        self.chase_workers = chase_workers
         self.schema = global_schema(config)
         self.store = None
         self.views = None
         self.finder = None
-        if "l" in kinds:
+        if "l" in kinds or "chase" in kinds:
             self.store = build_dstar(config)
+        if "l" in kinds:
             self.views = dstar_views(config, self.store)
             self.finder = DeltaShapeFinder(self.store)
 
@@ -161,9 +189,14 @@ class _WorkerState:
 _WORKER_STATE: Optional[_WorkerState] = None
 
 
-def _init_worker(config: ExperimentConfig, kinds: Sequence[str], incremental: bool) -> None:
+def _init_worker(
+    config: ExperimentConfig,
+    kinds: Sequence[str],
+    incremental: bool,
+    chase_workers: int,
+) -> None:
     global _WORKER_STATE
-    _WORKER_STATE = _WorkerState(config, kinds, incremental)
+    _WORKER_STATE = _WorkerState(config, kinds, incremental, chase_workers)
 
 
 def _run_task_in_worker(task: SweepTask) -> Tuple[str, List[Row], float]:
@@ -181,6 +214,8 @@ def _run_task_in_worker(task: SweepTask) -> Tuple[str, List[Row], float]:
 def _execute_task(state: _WorkerState, task: SweepTask) -> List[Row]:
     if task.kind == "sl":
         return _execute_sl_task(state, task)
+    if task.kind == "chase":
+        return _execute_chase_task(state, task)
     return _execute_linear_task(state, task)
 
 
@@ -203,6 +238,45 @@ def _execute_sl_task(state: _WorkerState, task: SweepTask) -> List[Row]:
             "t_graph": timings.t_graph,
             "t_comp": timings.t_comp,
             "t_total": timings.t_total,
+        }
+    ]
+
+
+def _execute_chase_task(state: _WorkerState, task: SweepTask) -> List[Row]:
+    """Materialise one generated linear rule set over its ``D*`` slice.
+
+    Every deterministic column is independent of ``chase_workers`` — the
+    parallel executor's determinism guarantee — so aggregate tables from
+    sweeps run with different worker counts are byte-identical (the raw
+    row keeps the timing and the worker count for observability).
+    """
+    rule_set = build_linear_rule_set(
+        state.config, task.profile_index, task.sample_index, schema=state.schema
+    )
+    database = build_chase_database(state.config, state.store, rule_set.tgds)
+    start = time.perf_counter()
+    result = parallel_chase(
+        database,
+        rule_set.tgds,
+        workers=state.chase_workers,
+        limits=CHASE_TASK_LIMITS,
+    )
+    elapsed = time.perf_counter() - start
+    return [
+        {
+            "task_id": task.task_id,
+            "kind": "chase",
+            "predicate_profile": rule_set.profile.predicates.label,
+            "tgd_profile": rule_set.profile.tgds.label,
+            "n_rules": rule_set.n_rules,
+            "n_database_atoms": len(database),
+            "terminated": result.terminated,
+            "rounds": result.rounds,
+            "atoms_created": result.atoms_created,
+            "triggers_fired": result.triggers_fired,
+            "instance_size": len(result.instance),
+            "chase_workers": state.chase_workers,
+            "t_chase": elapsed,
         }
     ]
 
@@ -347,13 +421,14 @@ def run_sweep(
     incremental: bool = True,
     max_tasks: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    chase_workers: int = 1,
 ) -> SweepResult:
     """Run (or resume) a workload sweep and return its rows in plan order.
 
     Parameters
     ----------
     kinds:
-        Which workload grids to cover: ``"sl"`` and/or ``"l"``.
+        Which workload grids to cover: ``"sl"``, ``"l"``, and/or ``"chase"``.
     workers:
         Process-pool size; ``1`` executes in-process (no pool).
     checkpoint_path:
@@ -369,9 +444,18 @@ def run_sweep(
         sweep; the checkpoint stays valid for resumption).
     progress:
         Optional callable receiving one human-readable line per event.
+    chase_workers:
+        Per-task worker count for ``chase`` tasks (the hash-partitioned
+        parallel chase).  An execution knob like *workers*: it changes a
+        row's timing and recorded worker count but never its
+        :data:`DETERMINISTIC_COLUMNS`, so it does not enter the checkpoint
+        fingerprint and a checkpoint may be resumed under a different
+        setting with byte-identical aggregate tables.
     """
     if workers < 1:
         raise ExperimentConfigError("workers must be >= 1")
+    if chase_workers < 1:
+        raise ExperimentConfigError("chase_workers must be >= 1")
     kinds = tuple(dict.fromkeys(kinds))
     tasks = plan_sweep(config, kinds)
     fingerprint = sweep_fingerprint(config, kinds, incremental)
@@ -407,7 +491,7 @@ def run_sweep(
         if not pending:
             pass  # fully resumed: nothing to build, nothing to run
         elif workers == 1:
-            state = _WorkerState(config, pending_kinds, incremental)
+            state = _WorkerState(config, pending_kinds, incremental, chase_workers)
             for task in pending:
                 task_start = time.perf_counter()
                 rows = _json_roundtrip(_execute_task(state, task))
@@ -420,7 +504,7 @@ def run_sweep(
             with futures.ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_worker,
-                initargs=(config, pending_kinds, incremental),
+                initargs=(config, pending_kinds, incremental, chase_workers),
             ) as pool:
                 submitted = [pool.submit(_run_task_in_worker, task) for task in pending]
                 for future in futures.as_completed(submitted):
@@ -501,6 +585,14 @@ def sweep_summary(rows: Iterable[Row]) -> str:
         parts.append(
             format_table(aggregated, title="sweep[l] (means per profile and view size)")
         )
+    chase_rows = [row for row in rows if row.get("kind") == "chase"]
+    if chase_rows:
+        aggregated = group_mean(
+            chase_rows,
+            ("predicate_profile", "tgd_profile"),
+            ("n_rules", "terminated", "rounds", "atoms_created", "triggers_fired", "instance_size"),
+        )
+        parts.append(format_table(aggregated, title="sweep[chase] (means per profile)"))
     if not parts:
         return "(no rows)"
     return "\n\n".join(parts)

@@ -63,6 +63,23 @@ class AtomStore(Protocol):
         """
         ...
 
+    def atoms_partition(
+        self,
+        predicate: Predicate,
+        key_positions: "tuple",
+        n_partitions: int,
+        partition_index: int,
+    ) -> Iterable[Atom]:
+        """Yield the atoms over *predicate* owned by one hash partition.
+
+        Membership is decided by the stable partition hash of the terms at
+        *key_positions* (whole tuple when empty) modulo *n_partitions* — see
+        :func:`repro.core.indexing.atom_partition_of`.  The parallel chase
+        relies on every store (shared or replica) agreeing on ownership, so
+        implementations must delegate to that helper rather than ``hash()``.
+        """
+        ...
+
     def predicate_cardinality(self, predicate: Predicate) -> int:
         """Return the number of atoms over *predicate* (used for join ordering)."""
         ...

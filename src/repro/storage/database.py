@@ -19,7 +19,7 @@ from itertools import islice
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
 from ..core.atoms import Atom
-from ..core.indexing import PositionIndex
+from ..core.indexing import PositionIndex, atom_partition_of
 from ..core.instances import Database, Instance
 from ..core.predicates import Predicate, Schema
 from ..core.terms import Term
@@ -241,6 +241,30 @@ class RelationalDatabase:
         if not bindings:
             return cache.atoms
         return cache.build_index().lookup(bindings)
+
+    def atoms_partition(
+        self,
+        predicate: Predicate,
+        key_positions: Tuple[int, ...],
+        n_partitions: int,
+        partition_index: int,
+    ) -> Iterator[Atom]:
+        """Yield the stored atoms over *predicate* owned by one hash partition.
+
+        Same contract as :meth:`repro.core.instances.Instance.atoms_partition`
+        (stable hash of the terms at *key_positions*), evaluated over the
+        decoded-atom cache so nulls participate with their decoded identity.
+        """
+        relation = self._relation_for(predicate)
+        if relation is None:
+            return
+        atoms = self._cache(relation).atoms
+        if n_partitions <= 1:
+            yield from atoms
+            return
+        for atom in atoms:
+            if atom_partition_of(atom, key_positions, n_partitions) == partition_index:
+                yield atom
 
     def predicate_cardinality(self, predicate: Predicate) -> int:
         """Return the number of distinct atoms over *predicate*."""

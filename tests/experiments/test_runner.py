@@ -35,10 +35,11 @@ def _deterministic(rows):
 class TestPlan:
     def test_plan_covers_the_grid_in_order(self):
         tasks = plan_sweep(SMOKE)
-        assert len(tasks) == 9 * (SMOKE.sets_per_profile_sl + SMOKE.sets_per_profile_l)
+        # "chase" draws the same rule sets as "l", so it shares its knob.
+        assert len(tasks) == 9 * (SMOKE.sets_per_profile_sl + 2 * SMOKE.sets_per_profile_l)
         ids = [task.task_id for task in tasks]
         assert len(set(ids)) == len(ids)
-        assert tasks[0].kind == "sl" and tasks[-1].kind == "l"
+        assert tasks[0].kind == "sl" and tasks[-1].kind == "chase"
         assert ids == [task.task_id for task in plan_sweep(SMOKE)]
 
     def test_unknown_kind_rejected(self):
@@ -122,7 +123,7 @@ class TestCheckpointResume:
         run_sweep(TINY, workers=1, checkpoint_path=checkpoint, max_tasks=3)
         content = checkpoint.read_text()
         checkpoint.write_text(content + '{"task_id": "l:p0:s0", "rows": [tru')
-        fingerprint = sweep_fingerprint(TINY, ("sl", "l"), True)
+        fingerprint = sweep_fingerprint(TINY, ("sl", "l", "chase"), True)
         completed = load_checkpoint(checkpoint, fingerprint)
         assert len(completed) == 3
         resumed = run_sweep(TINY, workers=1, checkpoint_path=checkpoint)
@@ -136,13 +137,64 @@ class TestCheckpointResume:
         with open(checkpoint, "a", encoding="utf-8") as handle:
             handle.write('{"task_id": "l:p0:s0", "rows": [tru')  # no newline
         run_sweep(TINY, workers=1, checkpoint_path=checkpoint, max_tasks=2)
-        fingerprint = sweep_fingerprint(TINY, ("sl", "l"), True)
+        fingerprint = sweep_fingerprint(TINY, ("sl", "l", "chase"), True)
         assert len(load_checkpoint(checkpoint, fingerprint)) == 4
         for line in checkpoint.read_text().splitlines():
             json.loads(line)  # every line is valid JSON
         final = run_sweep(TINY, workers=1, checkpoint_path=checkpoint)
         assert final.finished
         assert len(final.resumed_task_ids) == 4
+
+    def test_already_complete_checkpoint_executes_nothing(self, tmp_path, monkeypatch):
+        # Resuming a checkpoint with zero remaining tasks must replay rows
+        # verbatim: no task execution, no checkpoint append, same table.
+        checkpoint = tmp_path / "done.jsonl"
+        full = run_sweep(TINY, workers=1, checkpoint_path=checkpoint)
+        content_before = checkpoint.read_bytes()
+
+        import repro.experiments.runner as runner_module
+
+        def _boom(*args, **kwargs):
+            raise AssertionError("no task may execute on a fully-resumed sweep")
+
+        monkeypatch.setattr(runner_module, "_execute_task", _boom)
+        again = run_sweep(TINY, workers=1, checkpoint_path=checkpoint)
+        assert again.finished and not again.pending_task_ids
+        assert sweep_summary(again.rows) == sweep_summary(full.rows)
+        assert again.rows == full.rows
+        assert checkpoint.read_bytes() == content_before
+
+    def test_already_complete_checkpoint_with_limit_and_workers(self, tmp_path):
+        # --limit and a process pool on a complete checkpoint are both
+        # no-ops: everything resumes, nothing re-plans into execution.
+        checkpoint = tmp_path / "done.jsonl"
+        full = run_sweep(TINY, workers=1, checkpoint_path=checkpoint)
+        limited = run_sweep(TINY, workers=1, checkpoint_path=checkpoint, max_tasks=1)
+        assert limited.finished and limited.rows == full.rows
+        pooled = run_sweep(TINY, workers=2, checkpoint_path=checkpoint)
+        assert pooled.finished and pooled.rows == full.rows
+
+    def test_resume_ignores_chase_worker_count(self, tmp_path):
+        # chase_workers is an execution knob: a checkpoint written under one
+        # setting resumes under another, and fresh rows match resumed rows.
+        checkpoint = tmp_path / "sweep.jsonl"
+        first = run_sweep(
+            TINY, kinds=("chase",), workers=1, checkpoint_path=checkpoint,
+            max_tasks=4, chase_workers=1,
+        )
+        assert not first.finished
+        resumed = run_sweep(
+            TINY, kinds=("chase",), workers=1, checkpoint_path=checkpoint,
+            chase_workers=3,
+        )
+        assert resumed.finished
+        fresh = run_sweep(TINY, kinds=("chase",), workers=1, chase_workers=2)
+        assert _deterministic(resumed.rows) == _deterministic(fresh.rows)
+        assert sweep_summary(resumed.rows) == sweep_summary(fresh.rows)
+
+    def test_chase_workers_validation(self):
+        with pytest.raises(ExperimentConfigError):
+            run_sweep(TINY, chase_workers=0)
 
     def test_fully_resumed_sweep_skips_worker_state(self, tmp_path, monkeypatch):
         checkpoint = tmp_path / "sweep.jsonl"
@@ -162,7 +214,7 @@ class TestCheckpointResume:
         run_sweep(TINY, workers=1, checkpoint_path=checkpoint, max_tasks=2)
         lines = checkpoint.read_text().splitlines()
         header = json.loads(lines[0])
-        assert header["fingerprint"] == sweep_fingerprint(TINY, ("sl", "l"), True)
+        assert header["fingerprint"] == sweep_fingerprint(TINY, ("sl", "l", "chase"), True)
         for line in lines[1:]:
             record = json.loads(line)
             assert set(record) == {"task_id", "elapsed", "rows"}

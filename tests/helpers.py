@@ -26,6 +26,24 @@ VARIABLE_POOL = [Variable(name) for name in ("x1", "x2", "x3")]
 EXISTENTIAL_POOL = [Variable(name) for name in ("z1", "z2", "z3")]
 
 
+def chase_result_fingerprint(result) -> tuple:
+    """Everything the chase determinism claim covers, null names included.
+
+    The single definition shared by the parallel-executor tests, the
+    edge-case grid, and the property-based conformance suite: if the claim's
+    surface ever grows (a new ``ChaseResult`` field that must be identical
+    across worker counts), extend it here once.
+    """
+    return (
+        result.terminated,
+        result.stop_reason,
+        result.rounds,
+        result.triggers_fired,
+        result.atoms_created,
+        tuple(sorted(str(atom) for atom in result.instance)),
+    )
+
+
 def atoms_equal_modulo_nulls(left, right) -> bool:
     """Compare two instances ignoring the concrete names of nulls (isomorphism test)."""
     from repro.core.substitutions import homomorphisms

@@ -1,0 +1,142 @@
+"""Hypothesis strategies for the cross-backend conformance suite.
+
+Unlike the narrow strategies of ``tests/helpers.py`` (tuned for the
+termination checkers), these generate the *whole* input space the chase
+engines must agree on: multi-atom bodies with self-joins, repeated
+variables, multi-atom heads, empty frontiers, and databases that hit only
+part of the vocabulary.  Every strategy draws from a small fixed pool so
+shrinking converges to readable minimal programs, and
+:func:`describe_program` renders any failing example as parseable rule and
+fact text for the failure report.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from hypothesis import strategies as st
+
+from repro.core.atoms import Atom
+from repro.core.instances import Database
+from repro.core.predicates import Predicate
+from repro.core.serializer import serialize_database, serialize_rules
+from repro.core.terms import Constant, Variable
+from repro.core.tgds import TGD, TGDSet
+
+#: Small fixed vocabulary: dense with joins, friendly to shrinking.
+PREDICATE_POOL = (
+    Predicate("P", 1),
+    Predicate("Q", 2),
+    Predicate("R", 2),
+    Predicate("S", 3),
+)
+CONSTANT_POOL = tuple(Constant(name) for name in ("a", "b", "c"))
+BODY_VARIABLE_POOL = tuple(Variable(name) for name in ("x1", "x2", "x3", "x4"))
+EXISTENTIAL_POOL = tuple(Variable(name) for name in ("z1", "z2"))
+
+
+def describe_program(database: Database, tgds: TGDSet) -> str:
+    """Render a failing example as rule + fact text (shrinking-friendly)."""
+    return (
+        "--- rules ---\n"
+        + serialize_rules(tgds)
+        + "\n--- facts ---\n"
+        + serialize_database(database)
+    )
+
+
+@st.composite
+def facts(draw) -> Atom:
+    """A single ground fact over the constant pool."""
+    predicate = draw(st.sampled_from(PREDICATE_POOL))
+    terms = tuple(
+        draw(st.sampled_from(CONSTANT_POOL)) for _ in range(predicate.arity)
+    )
+    return Atom(predicate, terms)
+
+
+@st.composite
+def databases(draw, min_size: int = 1, max_size: int = 6) -> Database:
+    """A small database; repeated draws collapse (sets), which is fine."""
+    atoms = draw(st.lists(facts(), min_size=min_size, max_size=max_size))
+    database = Database()
+    for atom in atoms:
+        database.add(atom)
+    return database
+
+
+@st.composite
+def _head(draw, body_variables: List[Variable], n_atoms: int, allow_empty_frontier: bool):
+    """Draw *n_atoms* head atoms over body variables and existentials."""
+    head: List[Atom] = []
+    for _ in range(n_atoms):
+        predicate = draw(st.sampled_from(PREDICATE_POOL))
+        pool = tuple(body_variables) + EXISTENTIAL_POOL
+        terms = tuple(
+            draw(st.sampled_from(pool)) for _ in range(predicate.arity)
+        )
+        head.append(Atom(predicate, terms))
+    frontier_empty = all(
+        term not in body_variables for atom in head for term in atom.terms
+    )
+    if frontier_empty and not allow_empty_frontier:
+        # Patch one position to reuse a body variable.
+        atom = head[0]
+        terms = list(atom.terms)
+        terms[0] = body_variables[0]
+        head[0] = Atom(atom.predicate, tuple(terms))
+    return tuple(head)
+
+
+@st.composite
+def linear_tgds(draw, allow_empty_frontier: bool = False) -> TGD:
+    """A linear TGD; body positions may repeat variables (non-simple)."""
+    predicate = draw(st.sampled_from(PREDICATE_POOL))
+    body_terms = tuple(
+        draw(st.sampled_from(BODY_VARIABLE_POOL[: max(2, predicate.arity)]))
+        for _ in range(predicate.arity)
+    )
+    body = (Atom(predicate, body_terms),)
+    body_variables = list(dict.fromkeys(body_terms))
+    n_head = draw(st.integers(min_value=1, max_value=2))
+    head = draw(_head(body_variables, n_head, allow_empty_frontier))
+    return TGD(body, head)
+
+
+@st.composite
+def general_tgds(draw, max_body_atoms: int = 3, allow_empty_frontier: bool = True) -> TGD:
+    """A TGD with a (possibly) multi-atom body: joins, self-joins, repeats."""
+    n_body = draw(st.integers(min_value=1, max_value=max_body_atoms))
+    body: List[Atom] = []
+    for _ in range(n_body):
+        predicate = draw(st.sampled_from(PREDICATE_POOL))
+        terms = tuple(
+            draw(st.sampled_from(BODY_VARIABLE_POOL)) for _ in range(predicate.arity)
+        )
+        body.append(Atom(predicate, terms))
+    body_variables = list(
+        dict.fromkeys(term for atom in body for term in atom.terms)
+    )
+    n_head = draw(st.integers(min_value=1, max_value=2))
+    head = draw(_head(body_variables, n_head, allow_empty_frontier))
+    return TGD(tuple(body), head)
+
+
+@st.composite
+def linear_programs(draw, min_rules: int = 1, max_rules: int = 4) -> TGDSet:
+    """A set of linear TGDs (class ``L``) over the shared vocabulary."""
+    rules = draw(st.lists(linear_tgds(), min_size=min_rules, max_size=max_rules))
+    return TGDSet(rules)
+
+
+@st.composite
+def chase_programs(draw) -> Tuple[Database, TGDSet]:
+    """A (database, TGD set) pair exercising the full trigger-engine surface."""
+    rules = draw(st.lists(general_tgds(), min_size=1, max_size=4))
+    return draw(databases()), TGDSet(rules)
+
+
+@st.composite
+def linear_chase_programs(draw) -> Tuple[Database, TGDSet]:
+    """A (database, linear TGD set) pair for the termination-oracle property."""
+    return draw(databases()), draw(linear_programs())

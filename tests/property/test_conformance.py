@@ -1,0 +1,136 @@
+"""Property-based differential conformance: engines, backends, checkers.
+
+Three families of properties, all over random programs from
+``tests/property/strategies.py``:
+
+* **engine conformance** — the naive reference enumeration, the indexed
+  serial engine, and the hash-partitioned parallel executor (every pool
+  kind) produce the *same* ``ChaseResult``: termination verdict, round and
+  trigger counts, and the exact instance, null names included;
+* **backend conformance** — the relational store chases to the same result
+  as the in-memory instance, serial and parallel;
+* **oracle conformance** — on inputs where the materialization baseline is
+  conclusive, ``IsChaseFinite[L]`` returns the same verdict.
+
+Failures print the shrunk program as parseable rule/fact text via
+:func:`strategies.describe_program`.
+
+Run with ``HYPOTHESIS_PROFILE=ci`` for the pinned 200-example CI sweep.
+"""
+
+from hypothesis import given, note
+from hypothesis import strategies as st
+
+from repro.chase.engine import chase
+from repro.chase.parallel import parallel_chase
+from repro.chase.result import ChaseLimits
+from repro.termination.linear import is_chase_finite_l
+from repro.termination.materialization import is_chase_finite_materialization
+
+from tests.helpers import chase_result_fingerprint as fingerprint
+from tests.property.strategies import (
+    chase_programs,
+    describe_program,
+    linear_chase_programs,
+)
+
+#: Small budget: the vocabulary is tiny, so either the chase reaches its
+#: fixpoint quickly or the budgeted prefix is compared instead — both are
+#: deterministic, so conformance is checkable either way.
+LIMITS = ChaseLimits(max_atoms=300, max_rounds=10)
+
+VARIANTS = ("oblivious", "semi-oblivious", "restricted")
+
+
+class TestEngineConformance:
+    @given(chase_programs(), st.sampled_from(VARIANTS))
+    def test_parallel_equals_serial_equals_naive(self, program, variant):
+        database, tgds = program
+        note(describe_program(database, tgds))
+        reference = chase(
+            database, tgds, variant=variant, strategy="naive", limits=LIMITS
+        )
+        expected = fingerprint(reference)
+
+        indexed = chase(
+            database, tgds, variant=variant, strategy="indexed", limits=LIMITS
+        )
+        assert fingerprint(indexed) == expected, "indexed serial != naive"
+
+        for workers, executor in (
+            (1, "serial"),
+            (3, "serial"),
+            (2, "thread"),
+            (2, "process"),  # replicas, pipes, and pickling per example
+        ):
+            result = parallel_chase(
+                database,
+                tgds,
+                variant=variant,
+                workers=workers,
+                limits=LIMITS,
+                executor=executor,
+            )
+            assert fingerprint(result) == expected, (
+                f"parallel(workers={workers}, executor={executor}) != naive"
+            )
+
+    @given(chase_programs(), st.sampled_from(VARIANTS))
+    def test_relational_backend_conforms(self, program, variant):
+        database, tgds = program
+        note(describe_program(database, tgds))
+        expected = fingerprint(
+            chase(database, tgds, variant=variant, limits=LIMITS)
+        )
+        serial = chase(
+            database, tgds, variant=variant, limits=LIMITS, backend="relational"
+        )
+        assert fingerprint(serial) == expected, "relational serial != instance"
+        assert serial.store.atom_count() == len(serial.instance)
+
+        parallel = parallel_chase(
+            database,
+            tgds,
+            variant=variant,
+            workers=3,
+            limits=LIMITS,
+            backend="relational",
+            executor="thread",
+        )
+        assert fingerprint(parallel) == expected, "relational parallel != instance"
+        assert parallel.store.atom_count() == len(parallel.instance)
+
+
+class TestTerminationOracleConformance:
+    @given(linear_chase_programs())
+    def test_checker_agrees_with_materialization_oracle(self, program):
+        database, tgds = program
+        note(describe_program(database, tgds))
+        oracle = is_chase_finite_materialization(database, tgds, max_atoms=2_000)
+        verdict = is_chase_finite_l(database, tgds).finite
+        assert isinstance(verdict, bool)
+        if oracle.conclusive:
+            assert verdict == oracle.finite, (
+                f"IsChaseFinite[L] said {verdict} but materializing the chase "
+                f"proved {oracle.finite} ({oracle.atoms_materialized} atoms, "
+                f"bound {oracle.bound})"
+            )
+
+    @given(linear_chase_programs())
+    def test_parallel_chase_respects_conclusive_finite_verdicts(self, program):
+        database, tgds = program
+        note(describe_program(database, tgds))
+        oracle = is_chase_finite_materialization(database, tgds, max_atoms=2_000)
+        if not (oracle.conclusive and oracle.finite):
+            return
+        result = parallel_chase(
+            database,
+            tgds,
+            workers=2,
+            limits=ChaseLimits(max_atoms=4_000, max_rounds=None),
+            executor="serial",
+        )
+        assert result.terminated
+        # The oracle reports the size of the materialised fixpoint; the
+        # parallel chase must land on the same model.
+        assert len(result.instance) == oracle.atoms_materialized

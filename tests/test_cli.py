@@ -89,6 +89,40 @@ class TestChaseCommand:
         assert main(["chase", "--rules", str(join_rule_file), "--variant", "restricted"]) == 0
         assert "restricted chase" in capsys.readouterr().out
 
+    def test_chase_parallel_matches_serial_output(self, join_rule_file, fact_file, capsys):
+        def stats(argv):
+            assert main(argv) == 0
+            lines = capsys.readouterr().out.splitlines()
+            return [line for line in lines if "elapsed" not in line and "[" not in line]
+
+        base = ["chase", "--rules", str(join_rule_file), "--facts", str(fact_file)]
+        serial = stats(base)
+        for n in ("2", "4"):
+            assert stats(base + ["--parallel", n]) == serial
+        assert stats(base + ["--parallel", "2", "--executor", "process"]) == serial
+
+    def test_chase_parallel_banner_names_the_pool(self, join_rule_file, fact_file, capsys):
+        assert main(
+            ["chase", "--rules", str(join_rule_file), "--facts", str(fact_file), "--parallel", "4"]
+        ) == 0
+        assert "[indexed/instance/4w]" in capsys.readouterr().out
+
+    def test_chase_invalid_parallel(self, join_rule_file, capsys):
+        assert main(["chase", "--rules", str(join_rule_file), "--parallel", "0"]) == 2
+        assert "--parallel" in capsys.readouterr().err
+
+    def test_chase_parallel_rejects_naive_strategy(self, join_rule_file, capsys):
+        code = main(
+            ["chase", "--rules", str(join_rule_file), "--strategy", "naive", "--parallel", "2"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "indexed" in err and "--parallel" in err
+        # --parallel 1 with the naive strategy stays valid (serial engine).
+        assert main(
+            ["chase", "--rules", str(join_rule_file), "--strategy", "naive", "--parallel", "1"]
+        ) == 0
+
 
 class TestRunCommand:
     def test_unknown_experiment(self, capsys):
@@ -160,6 +194,15 @@ class TestErrorPaths:
         assert main(["sweep", "--workers", "0"]) == 2
         assert "--workers" in capsys.readouterr().err
 
+    def test_sweep_invalid_chase_workers(self, capsys):
+        assert main(["sweep", "--chase-workers", "0"]) == 2
+        assert "--chase-workers" in capsys.readouterr().err
+
+    def test_unknown_chase_executor(self, rule_file, capsys):
+        self._assert_argparse_rejects(
+            ["chase", "--rules", str(rule_file), "--executor", "quantum"], capsys, "quantum"
+        )
+
     def test_sweep_invalid_limit(self, capsys):
         assert main(["sweep", "--limit", "0"]) == 2
         assert "--limit" in capsys.readouterr().err
@@ -206,6 +249,40 @@ class TestSweepCommand:
         )
         second = capsys.readouterr().out
         assert "(3 resumed)" in second and "0 pending" in second
+
+    def test_sweep_with_already_complete_checkpoint_exits_zero(self, capsys, tmp_path):
+        # Regression: a checkpoint with zero remaining tasks must exit 0 and
+        # emit the byte-identical aggregate table, not re-plan any work.
+        checkpoint = tmp_path / "sweep.jsonl"
+        argv = ["sweep", "--preset", "smoke", "--kinds", "sl", "--checkpoint", str(checkpoint)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        content_before = checkpoint.read_bytes()
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 pending" in second
+        assert "(9 resumed)" in second
+        assert checkpoint.read_bytes() == content_before
+
+        def table(text):
+            start = text.index("sweep[sl]")
+            return text[start:].rsplit("sweep [", 1)[0]
+
+        assert table(first) == table(second)
+
+        # A --limit on the complete checkpoint is a no-op, still exit 0.
+        assert main(argv + ["--limit", "1"]) == 0
+        assert "0 pending" in capsys.readouterr().out
+
+    def test_sweep_chase_kind_rows_identical_across_chase_workers(self, capsys):
+        def table(argv):
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            return out[out.index("sweep[chase]"):].rsplit("sweep [", 1)[0]
+
+        base = ["sweep", "--preset", "smoke", "--kinds", "chase"]
+        assert table(base) == table(base + ["--chase-workers", "3"])
 
 
 class TestListCommand:
