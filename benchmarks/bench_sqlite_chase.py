@@ -1,0 +1,154 @@
+"""The disk-resident SQLite backend vs the in-memory chase.
+
+The SQL substrate (:mod:`repro.storage.sqlbackend`) buys persistence and
+larger-than-memory capacity; this benchmark bounds what that costs and
+proves it changes nothing else:
+
+* on a medium join workload (the iBench STB/ONT shape of
+  ``bench_parallel_chase.py``, scaled to a mid-size fixpoint), the chase
+  into a transient SQLite database — both the ``indexed`` strategy over
+  point lookups and the pushed-down ``sql`` strategy running whole body
+  joins inside the database — must land **within 5x** of the serial
+  indexed in-memory engine (the gate covers the faster of the two
+  sqlite paths; both are recorded);
+* the results are fingerprint-identical across all backends and
+  strategies, the conformance claim at benchmark scale;
+* a **larger-than-memory smoke run** chases straight into a file with the
+  page cache squeezed to ~256 KiB, so SQLite must spill to disk while the
+  chase streams atoms; the reopened file must hold the exact fixpoint.
+"""
+
+import os
+import time
+
+from conftest import record_bench_json
+
+from tests.helpers import chase_result_fingerprint as _result_fingerprint
+
+from repro.chase.engine import chase, make_backend_store
+from repro.chase.result import ChaseLimits
+from repro.core.atoms import Atom
+from repro.core.instances import Database
+from repro.core.predicates import Predicate
+from repro.core.terms import Constant, Variable
+from repro.core.tgds import TGD, TGDSet
+from repro.storage.sqlbackend import SqliteAtomStore
+
+#: Medium preset: enough join work for stable timings, small enough for CI.
+N_CHAINS = 8
+ROWS_PER_SOURCE = 90
+
+#: The sqlite backend (its faster strategy) may cost at most this factor
+#: over the serial indexed in-memory engine on the medium workload.
+MAX_SLOWDOWN_VS_INSTANCE = 5.0
+
+#: Scale of the persistent smoke run (fixpoint ~17k atoms, a multi-MB file).
+SMOKE_CHAINS = 4
+SMOKE_ROWS = 800
+
+LIMITS = ChaseLimits(max_atoms=1_000_000, max_rounds=None)
+
+
+def _join_workload(n_chains, rows):
+    """iBench STB/ONT-style mapping chains with join bodies (see
+    ``bench_parallel_chase.py``); every round does real join work."""
+    x, y, z, w, u, v = (Variable(name) for name in "xyzwuv")
+    tgds = TGDSet()
+    database = Database()
+    for chain in range(n_chains):
+        a = Predicate(f"A{chain}", 2)
+        b = Predicate(f"B{chain}", 2)
+        b2 = Predicate(f"B2_{chain}", 2)
+        c = Predicate(f"C{chain}", 3)
+        d = Predicate(f"D{chain}", 3)
+        tgds.add(TGD((Atom(a, (x, y)), Atom(b, (y, z))), (Atom(c, (x, z, w)),)))
+        tgds.add(TGD((Atom(c, (x, z, w)), Atom(b2, (z, u))), (Atom(d, (x, u, v)),)))
+        for row in range(rows):
+            join_key = Constant(f"j{chain}_{row}")
+            out_key = Constant(f"b{chain}_{row % (rows // 2)}")
+            database.add(Atom(a, (Constant(f"a{chain}_{row}"), join_key)))
+            database.add(Atom(b, (join_key, out_key)))
+            database.add(Atom(b2, (out_key, Constant(f"u{chain}_{row}"))))
+    return database, tgds
+
+
+def _timed(database, tgds, **kwargs):
+    start = time.perf_counter()
+    result = chase(database, tgds, limits=LIMITS, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def test_sqlite_chase_stays_within_budget_of_in_memory():
+    database, tgds = _join_workload(N_CHAINS, ROWS_PER_SOURCE)
+
+    instance_result, instance_seconds = _timed(database, tgds, strategy="indexed")
+    sqlite_indexed, sqlite_indexed_seconds = _timed(
+        database, tgds, strategy="indexed", backend="sqlite"
+    )
+    sqlite_sql, sqlite_sql_seconds = _timed(
+        database, tgds, strategy="sql", backend="sqlite"
+    )
+
+    # Conformance at benchmark scale: same fixpoint, null names included.
+    expected = _result_fingerprint(instance_result)
+    assert _result_fingerprint(sqlite_indexed) == expected
+    assert _result_fingerprint(sqlite_sql) == expected
+
+    gated_seconds = min(sqlite_indexed_seconds, sqlite_sql_seconds)
+    slowdown = gated_seconds / instance_seconds if instance_seconds > 0 else 0.0
+    artifact = record_bench_json(
+        "sqlite_chase",
+        {
+            "workload": {
+                "style": "ibench-stb/ont join bodies (medium)",
+                "chains": N_CHAINS,
+                "rules": len(tgds),
+                "database_atoms": len(database),
+                "chase_atoms": len(instance_result.instance),
+                "rounds": instance_result.rounds,
+            },
+            "cpu_count": os.cpu_count(),
+            "instance_indexed_seconds": instance_seconds,
+            "sqlite_indexed_seconds": sqlite_indexed_seconds,
+            "sqlite_sql_seconds": sqlite_sql_seconds,
+            "gated_slowdown_vs_instance": slowdown,
+            "max_slowdown_vs_instance": MAX_SLOWDOWN_VS_INSTANCE,
+        },
+    )
+    print(
+        f"\ninstance indexed: {instance_seconds:.3f}s  "
+        f"sqlite indexed: {sqlite_indexed_seconds:.3f}s  "
+        f"sqlite sql: {sqlite_sql_seconds:.3f}s  "
+        f"slowdown: {slowdown:.2f}x  (artifact: {artifact})"
+    )
+    assert slowdown <= MAX_SLOWDOWN_VS_INSTANCE, (
+        f"sqlite backend {slowdown:.2f}x slower than the in-memory chase "
+        f"(instance {instance_seconds:.3f}s, sqlite {gated_seconds:.3f}s)"
+    )
+
+
+def test_persistent_file_smoke_run_survives_reopen(tmp_path):
+    """The larger-than-memory smoke: chase into a file with the page cache
+    squeezed so SQLite works disk-resident, then reopen and verify."""
+    database, tgds = _join_workload(SMOKE_CHAINS, SMOKE_ROWS)
+    path = str(tmp_path / "smoke.db")
+    store = make_backend_store(f"sqlite:{path}")
+    # ~256 KiB page cache: the working set must spill to disk.
+    store.connection.execute("PRAGMA cache_size=-256")
+
+    start = time.perf_counter()
+    result = chase(database, tgds, store=store, strategy="sql")
+    elapsed = time.perf_counter() - start
+    assert result.terminated
+    fixpoint = len(result.instance)
+    file_bytes = store.file_size()
+    store.close()
+    assert file_bytes > 1_000_000, f"smoke file suspiciously small: {file_bytes} bytes"
+
+    with SqliteAtomStore(path=path) as reopened:
+        assert reopened.atom_count() == fixpoint
+
+    print(
+        f"\npersistent smoke: {fixpoint} atoms chased to disk in {elapsed:.3f}s, "
+        f"{file_bytes / 1e6:.1f} MB file, reopened count matches"
+    )

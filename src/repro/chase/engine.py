@@ -21,7 +21,8 @@ Orthogonally to the variant, every engine is parameterised by
 * a **store** — any :class:`~repro.storage.atom_store.AtomStore`; by default
   an in-memory :class:`~repro.core.instances.Instance`, but the chase can
   run directly against a :class:`~repro.storage.database.RelationalDatabase`
-  (``chase(..., backend="relational")``).
+  (``chase(..., backend="relational")``) or a persistent SQLite database
+  (``backend="sqlite[:path]"``, see :mod:`repro.storage.sqlbackend`).
 
 The engines run under a :class:`~repro.chase.result.ChaseLimits` budget and
 report whether a fixpoint was reached.
@@ -41,8 +42,41 @@ from .matching import STRATEGIES, has_homomorphism_indexed, make_trigger_source
 from .result import ChaseLimits, ChaseResult
 from .triggers import Trigger
 
-#: Store backends accepted by :func:`chase`.
-BACKENDS = ("instance", "relational")
+#: Store backends accepted by :func:`chase`.  ``"sqlite"`` chases into a
+#: transient in-memory SQLite database; ``"sqlite:<path>"`` into a
+#: persistent file that survives the process and can be reopened.
+BACKENDS = ("instance", "relational", "sqlite")
+
+
+def make_backend_store(backend: str, name: str = "chase"):
+    """Build the :class:`~repro.storage.atom_store.AtomStore` named by *backend*.
+
+    ``"instance"`` and ``"relational"`` build the in-memory backends;
+    ``"sqlite"`` builds a transient in-memory SQLite store and
+    ``"sqlite:<path>"`` a persistent file-backed one (the file is created on
+    demand and reopened with its atoms when it already exists).  Unknown
+    names and malformed sqlite specs raise ``ValueError``.
+    """
+    if backend == "instance":
+        return Instance()
+    if backend == "relational":
+        from ..storage.database import RelationalDatabase
+
+        return RelationalDatabase(name=name)
+    if backend == "sqlite" or backend.startswith("sqlite:"):
+        from ..storage.sqlbackend import MEMORY_PATH, SqliteAtomStore
+
+        path = backend[len("sqlite:"):] if backend.startswith("sqlite:") else MEMORY_PATH
+        if not path:
+            raise ValueError(
+                "malformed sqlite backend spec 'sqlite:': expected 'sqlite' "
+                "(in-memory) or 'sqlite:<path>' (persistent file)"
+            )
+        return SqliteAtomStore(path=path, name=name)
+    raise ValueError(
+        f"unknown chase backend {backend!r}; expected one of {BACKENDS} "
+        "(sqlite also accepts 'sqlite:<path>')"
+    )
 
 
 class ChaseEngine:
@@ -90,8 +124,13 @@ class ChaseEngine:
         tgd_list = tuple(tgds)
         if store is None:
             store = Instance()
-        for atom in database.atoms():
-            store.add_atom(atom)
+        add_atoms = getattr(store, "add_atoms", None)
+        if add_atoms is not None:
+            # Bulk path: batched executemany on the sqlite backend.
+            add_atoms(database.atoms())
+        else:
+            for atom in database.atoms():
+                store.add_atom(atom)
         source = make_trigger_source(tgd_list, self.strategy)
         null_factory = NullFactory()
         fired_keys: Set = set()
@@ -134,6 +173,12 @@ class ChaseEngine:
                 )
             for atom in new_atoms:
                 store.add_atom(atom)
+            flush = getattr(store, "flush", None)
+            if flush is not None:
+                # Round-granular durability on persistent stores: a hard
+                # crash loses at most the current round, keeping the file a
+                # resumable prefix of the chase.
+                flush()
             atoms_created += len(new_atoms)
             rounds += 1
             frontier_atoms = new_atoms
@@ -222,9 +267,11 @@ class RestrictedChase(ChaseEngine):
             variable: trigger.homomorphism[variable]
             for variable in trigger.tgd.frontier()
         }
-        if self.strategy == "indexed":
-            return not has_homomorphism_indexed(trigger.tgd.head, store, base=base)
-        return not has_homomorphism(trigger.tgd.head, store, base=base)
+        if self.strategy == "naive":
+            return not has_homomorphism(trigger.tgd.head, store, base=base)
+        # "indexed" and "sql" both satisfy the check through the store's
+        # position-index lookups (point queries on the sqlite backend).
+        return not has_homomorphism_indexed(trigger.tgd.head, store, base=base)
 
 
 #: Chase variant -> engine class (public so the parallel executor can reuse
@@ -273,12 +320,16 @@ def chase(
         exhausted, ``"raise"`` to raise :class:`ChaseLimitExceeded`.
     strategy:
         ``"indexed"`` (default) for the delta-driven index-join trigger
-        engine, ``"naive"`` for the seed reference enumeration.
+        engine, ``"naive"`` for the seed reference enumeration, ``"sql"``
+        to compile body joins to SQLite statements executed inside the
+        sqlite backend.
     backend:
         ``"instance"`` (default) materialises into an in-memory
         :class:`Instance`; ``"relational"`` chases directly into a
-        :class:`~repro.storage.database.RelationalDatabase` (available on
-        ``ChaseResult.store``).
+        :class:`~repro.storage.database.RelationalDatabase`; ``"sqlite"``
+        into a transient SQLite database and ``"sqlite:<path>"`` into a
+        persistent file that can be reopened and resumed (the store is
+        available on ``ChaseResult.store``).
     store:
         An explicit :class:`~repro.storage.atom_store.AtomStore` to chase
         into; overrides *backend*.
@@ -308,16 +359,26 @@ def chase(
             executor=executor,
         )
     if store is None:
-        if backend == "relational":
-            from ..storage.database import RelationalDatabase
+        store = make_backend_store(backend)
+    if strategy == "sql":
+        from ..storage.sqlbackend import SqliteAtomStore
 
-            store = RelationalDatabase(name="chase")
-        elif backend != "instance":
+        if not isinstance(store, SqliteAtomStore):
             raise ValueError(
-                f"unknown chase backend {backend!r}; expected one of {BACKENDS}"
+                "strategy='sql' pushes body joins into SQLite and requires "
+                "the sqlite backend (backend='sqlite[:path]' or an explicit "
+                "SqliteAtomStore store)"
             )
     engine = engine_class(limits=limits, on_limit=on_limit, strategy=strategy)
-    return engine.run(database, tgds, store=store)
+    try:
+        return engine.run(database, tgds, store=store)
+    finally:
+        # Persistent stores (sqlite) batch writes in one transaction; commit
+        # even when the run raises (on_limit='raise'), or the interrupted
+        # prefix would roll back and the file could not be resumed.
+        flush = getattr(store, "flush", None)
+        if flush is not None:
+            flush()
 
 
 def satisfies(instance: Instance, tgds: Iterable[TGD]) -> bool:

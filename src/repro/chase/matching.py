@@ -45,7 +45,9 @@ from ..core.tgds import TGD
 from .triggers import Trigger, triggers_on
 
 #: Trigger-engine strategies accepted by the chase engines and ``chase()``.
-STRATEGIES = ("indexed", "naive")
+#: ``"sql"`` compiles body joins to SQLite statements and requires the
+#: sqlite backend (see :mod:`repro.storage.sqlbackend.plans`).
+STRATEGIES = ("indexed", "naive", "sql")
 
 
 def _bound_positions(pattern: Atom, mapping: Dict[Term, Term]) -> Dict[int, Term]:
@@ -249,9 +251,15 @@ class IndexedTriggerSource(TriggerSource):
 
 
 def make_trigger_source(tgds: Sequence[TGD], strategy: str = "indexed") -> TriggerSource:
-    """Build the :class:`TriggerSource` for *strategy* (``"indexed"`` or ``"naive"``)."""
+    """Build the :class:`TriggerSource` for *strategy* (one of :data:`STRATEGIES`)."""
     if strategy == "indexed":
         return IndexedTriggerSource(tgds)
     if strategy == "naive":
         return NaiveTriggerSource(tgds)
+    if strategy == "sql":
+        # Deferred import: keeps the chase layer from importing the storage
+        # package at module load (the dependency points the other way).
+        from ..storage.sqlbackend.plans import SqlTriggerSource
+
+        return SqlTriggerSource(tgds)
     raise ValueError(f"unknown trigger strategy {strategy!r}; expected one of {STRATEGIES}")

@@ -16,9 +16,11 @@ near-optimal parallel binary joins) distributes probe work:
 * **workers** — threads sharing the coordinator's store for the in-memory
   :class:`~repro.core.instances.Instance` backend, processes holding full
   per-worker store replicas for the
-  :class:`~repro.storage.database.RelationalDatabase` backend (replicas
+  :class:`~repro.storage.database.RelationalDatabase` and
+  :class:`~repro.storage.sqlbackend.SqliteAtomStore` backends (replicas
   receive each round's merged delta and stay in lock-step with the
-  coordinator).  On GIL builds of CPython the thread pool cannot speed up
+  coordinator; sqlite replicas are private in-memory databases — a
+  connection never crosses a process boundary).  On GIL builds of CPython the thread pool cannot speed up
   the pure-Python matching itself — it exists for protocol coverage and
   for free-threaded/partially-native futures; force ``executor="process"``
   (works for either backend) when real core-parallelism is wanted today;
@@ -48,7 +50,7 @@ from ..core.substitutions import Substitution
 from ..core.terms import Null, NullFactory
 from ..core.tgds import TGD, TGDSet
 from ..exceptions import ChaseLimitExceeded
-from .engine import BACKENDS, ChaseEngine, resolve_engine_class
+from .engine import ChaseEngine, make_backend_store, resolve_engine_class
 from .matching import JoinPlan
 from .result import ChaseLimits, ChaseResult
 from .triggers import Trigger
@@ -277,10 +279,23 @@ def _worker_main(conn, worker_id, n_workers, tgds, variant, backend, seed_atoms)
             from ..storage.database import RelationalDatabase
 
             store = RelationalDatabase(name=f"chase-replica-{worker_id}")
+        elif backend == "sqlite":
+            # SQLite connections cannot cross process boundaries, so every
+            # replica is a private in-memory database rebuilt from the seed
+            # (the coordinator alone owns the persistent file, if any).
+            from ..storage.sqlbackend import SqliteAtomStore
+
+            store = SqliteAtomStore(name=f"chase-replica-{worker_id}")
         else:
             store = Instance()
-        for atom in seed_atoms:
-            store.add_atom(atom)
+        add_atoms = getattr(store, "add_atoms", None)
+        if add_atoms is not None:
+            # seed_atoms arrives sorted (grouped by predicate), so the
+            # sqlite replica loads each predicate as one executemany batch.
+            add_atoms(seed_atoms)
+        else:
+            for atom in seed_atoms:
+                store.add_atom(atom)
         worker = _MatchWorker(worker_id, n_workers, tgds, variant, store)
         while True:
             message = conn.recv()
@@ -412,22 +427,32 @@ class ParallelChaseExecutor:
 
     def _make_pool(self, tgds, store):
         from ..storage.database import RelationalDatabase
+        from ..storage.sqlbackend import SqliteAtomStore
 
         executor = self.executor
         if executor == "auto":
             if self.workers == 1:
                 executor = "serial"
             else:
+                # The sqlite3 module serializes access to a shared connection,
+                # so threads buy nothing there; processes with per-worker
+                # replicas give the store its own core like the relational
+                # backend.
                 executor = (
-                    "process" if isinstance(store, RelationalDatabase) else "thread"
+                    "process"
+                    if isinstance(store, (RelationalDatabase, SqliteAtomStore))
+                    else "thread"
                 )
         if executor == "serial" or self.workers == 1:
             return _SerialPool(self.workers, tgds, self.variant, store)
         if executor == "thread":
             return _ThreadPool(self.workers, tgds, self.variant, store)
-        backend = (
-            "relational" if isinstance(store, RelationalDatabase) else "instance"
-        )
+        if isinstance(store, RelationalDatabase):
+            backend = "relational"
+        elif isinstance(store, SqliteAtomStore):
+            backend = "sqlite"
+        else:
+            backend = "instance"
         # Only process replicas need the seed shipped; sorting makes the
         # per-worker replica construction order deterministic.
         seed_atoms = sorted(store.iter_atoms())
@@ -451,8 +476,12 @@ class ParallelChaseExecutor:
         tgd_list = tuple(tgds)
         if store is None:
             store = Instance()
-        for atom in database.atoms():
-            store.add_atom(atom)
+        add_atoms = getattr(store, "add_atoms", None)
+        if add_atoms is not None:
+            add_atoms(database.atoms())
+        else:
+            for atom in database.atoms():
+                store.add_atom(atom)
         table = _PlanTable(tgd_list)
         fired_keys: Set[object] = set()
 
@@ -505,6 +534,10 @@ class ParallelChaseExecutor:
                     )
                 for atom in new_atoms:
                     store.add_atom(atom)
+                flush = getattr(store, "flush", None)
+                if flush is not None:
+                    # Same round-granular durability as the serial engine.
+                    flush()
                 atoms_created += len(new_atoms)
                 rounds += 1
                 if self.limits.atom_budget_exceeded(store.atom_count()):
@@ -566,14 +599,7 @@ def parallel_chase(
             f"the parallel chase runs the indexed trigger engine only, got {strategy!r}"
         )
     if store is None:
-        if backend == "relational":
-            from ..storage.database import RelationalDatabase
-
-            store = RelationalDatabase(name="chase")
-        elif backend != "instance":
-            raise ValueError(
-                f"unknown chase backend {backend!r}; expected one of {BACKENDS}"
-            )
+        store = make_backend_store(backend)
     coordinator = ParallelChaseExecutor(
         variant=variant,
         workers=workers,
@@ -581,4 +607,11 @@ def parallel_chase(
         on_limit=on_limit,
         executor=executor,
     )
-    return coordinator.run(database, tgds, store=store)
+    try:
+        return coordinator.run(database, tgds, store=store)
+    finally:
+        # Commit even when the run raises, so an interrupted persistent
+        # store keeps its prefix and stays resumable.
+        flush = getattr(store, "flush", None)
+        if flush is not None:
+            flush()

@@ -6,8 +6,8 @@ Subcommands
     Run a termination check on a rule file (and optional fact file).
 ``chase``
     Run one of the chase engines on a rule file (and optional fact file),
-    choosing the variant, the trigger strategy (indexed/naive), and the
-    store backend (instance/relational).
+    choosing the variant, the trigger strategy (indexed/naive/sql), and the
+    store backend (instance/relational/sqlite[:path]).
 ``run``
     Regenerate one of the paper's figures or tables and print its rows
     (optionally writing them to CSV).
@@ -25,13 +25,14 @@ Examples
     repro-experiments check --rules rules.txt --facts data.txt
     repro-experiments chase --rules rules.txt --facts data.txt --variant restricted
     repro-experiments chase --rules rules.txt --strategy naive --backend relational
+    repro-experiments chase --rules rules.txt --backend sqlite:chase.db --strategy sql
     repro-experiments chase --rules rules.txt --parallel 4
     repro-experiments chase --rules rules.txt --parallel 4 --backend relational --executor process
     repro-experiments run figure1 --preset smoke
     repro-experiments run table2 --csv table2.csv
     repro-experiments sweep --preset smoke --workers 4 --checkpoint sweep.jsonl
     repro-experiments sweep --kinds l --from-scratch --csv sweep.csv
-    repro-experiments sweep --kinds chase --chase-workers 4
+    repro-experiments sweep --kinds chase --chase-workers 4 --chase-backend sqlite
 """
 
 from __future__ import annotations
@@ -41,7 +42,7 @@ import sys
 import time
 from typing import List, Optional
 
-from .chase.engine import BACKENDS, chase
+from .chase.engine import BACKENDS, chase, make_backend_store
 from .chase.matching import STRATEGIES
 from .chase.parallel import EXECUTORS
 from .chase.result import ChaseLimits
@@ -53,7 +54,7 @@ from .experiments import (
     PRESETS,
     preset,
 )
-from .exceptions import ExperimentConfigError
+from .exceptions import ExperimentConfigError, StorageError
 from .experiments.reporting import format_table, summarize_figure, write_csv
 from .experiments.runner import SWEEP_KINDS, run_sweep, sweep_summary
 from .termination import is_chase_finite_l, is_chase_finite_sl
@@ -89,13 +90,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--strategy",
         choices=STRATEGIES,
         default="indexed",
-        help="trigger engine: delta-driven index joins or the naive reference (default: indexed)",
+        help="trigger engine: delta-driven index joins, the naive reference, "
+        "or SQL joins pushed into the sqlite backend (default: indexed)",
     )
     chase_cmd.add_argument(
         "--backend",
-        choices=BACKENDS,
         default="instance",
-        help="store backend the chase materialises into (default: instance)",
+        metavar="{instance,relational,sqlite[:path]}",
+        help="store backend the chase materialises into; 'sqlite' is a "
+        "transient in-memory database, 'sqlite:<path>' a persistent file "
+        "(default: instance)",
     )
     chase_cmd.add_argument("--max-atoms", type=int, default=100_000, help="atom budget (default: 100000)")
     chase_cmd.add_argument("--max-rounds", type=int, help="round budget (default: unlimited)")
@@ -145,6 +149,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="parallel-chase workers per 'chase' task; aggregate tables are "
         "identical for every N (raw rows keep the timing and worker count) "
         "(default: 1)",
+    )
+    sweep.add_argument(
+        "--chase-backend",
+        choices=BACKENDS,
+        default="instance",
+        help="store backend for 'chase' tasks; like --chase-workers it is an "
+        "execution knob that never changes the aggregate tables "
+        "(default: instance)",
     )
     sweep.add_argument(
         "--checkpoint",
@@ -204,23 +216,44 @@ def _command_chase(args) -> int:
         return 2
     if args.parallel > 1 and args.strategy != "indexed":
         print(
-            "--parallel runs the indexed trigger engine; drop --strategy naive "
-            "or use --parallel 1",
+            "--parallel runs the indexed trigger engine; drop --strategy "
+            f"{args.strategy} or use --parallel 1",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        store = make_backend_store(args.backend)
+    except (ValueError, StorageError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    from .storage.sqlbackend import SqliteAtomStore
+
+    if args.strategy == "sql" and not isinstance(store, SqliteAtomStore):
+        print(
+            "--strategy sql pushes body joins into SQLite and requires "
+            "--backend sqlite[:path]",
             file=sys.stderr,
         )
         return 2
     limits = ChaseLimits(max_atoms=args.max_atoms, max_rounds=args.max_rounds)
     start = time.perf_counter()
-    result = chase(
-        database,
-        tgds,
-        variant=args.variant,
-        limits=limits,
-        strategy=args.strategy,
-        backend=args.backend,
-        workers=args.parallel,
-        executor=args.executor,
-    )
+    try:
+        result = chase(
+            database,
+            tgds,
+            variant=args.variant,
+            limits=limits,
+            strategy=args.strategy,
+            store=store,
+            workers=args.parallel,
+            executor=args.executor,
+        )
+    except StorageError as error:
+        # E.g. reopening a persisted file with rules that recreate one of
+        # its predicates at a different arity: same one-line contract as
+        # the backend-spec errors above.
+        print(str(error), file=sys.stderr)
+        return 2
     elapsed = time.perf_counter() - start
 
     pool = f"/{args.parallel}w" if args.parallel != 1 else ""
@@ -230,6 +263,9 @@ def _command_chase(args) -> int:
     print(f"  triggers_fired: {result.triggers_fired}")
     print(f"  atoms_created: {result.atoms_created}")
     print(f"  instance_size: {len(result.instance)}")
+    if isinstance(store, SqliteAtomStore) and store.is_persistent:
+        print(f"  store_atoms: {store.atom_count()}")
+        print(f"  store_file: {store.path} ({store.file_size()} bytes)")
     print(f"  elapsed: {elapsed * 1000:.2f} ms")
     return 0
 
@@ -288,6 +324,7 @@ def _command_sweep(args) -> int:
             max_tasks=args.limit,
             progress=print,
             chase_workers=args.chase_workers,
+            chase_backend=args.chase_backend,
         )
     except ExperimentConfigError as error:
         print(f"sweep failed: {error}", file=sys.stderr)

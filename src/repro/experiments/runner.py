@@ -38,6 +38,7 @@ from concurrent import futures
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..chase.engine import BACKENDS
 from ..chase.parallel import parallel_chase
 from ..chase.result import ChaseLimits
 from ..exceptions import ExperimentConfigError
@@ -171,10 +172,12 @@ class _WorkerState:
         kinds: Sequence[str],
         incremental: bool,
         chase_workers: int = 1,
+        chase_backend: str = "instance",
     ):
         self.config = config
         self.incremental = incremental
         self.chase_workers = chase_workers
+        self.chase_backend = chase_backend
         self.schema = global_schema(config)
         self.store = None
         self.views = None
@@ -194,9 +197,10 @@ def _init_worker(
     kinds: Sequence[str],
     incremental: bool,
     chase_workers: int,
+    chase_backend: str,
 ) -> None:
     global _WORKER_STATE
-    _WORKER_STATE = _WorkerState(config, kinds, incremental, chase_workers)
+    _WORKER_STATE = _WorkerState(config, kinds, incremental, chase_workers, chase_backend)
 
 
 def _run_task_in_worker(task: SweepTask) -> Tuple[str, List[Row], float]:
@@ -255,11 +259,15 @@ def _execute_chase_task(state: _WorkerState, task: SweepTask) -> List[Row]:
     )
     database = build_chase_database(state.config, state.store, rule_set.tgds)
     start = time.perf_counter()
+    # Each task builds (and discards) its own store, so pooled sweeps hold
+    # one connection per worker process — SQLite connections never cross
+    # process boundaries.
     result = parallel_chase(
         database,
         rule_set.tgds,
         workers=state.chase_workers,
         limits=CHASE_TASK_LIMITS,
+        backend=state.chase_backend,
     )
     elapsed = time.perf_counter() - start
     return [
@@ -276,6 +284,7 @@ def _execute_chase_task(state: _WorkerState, task: SweepTask) -> List[Row]:
             "triggers_fired": result.triggers_fired,
             "instance_size": len(result.instance),
             "chase_workers": state.chase_workers,
+            "chase_backend": state.chase_backend,
             "t_chase": elapsed,
         }
     ]
@@ -422,6 +431,7 @@ def run_sweep(
     max_tasks: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
     chase_workers: int = 1,
+    chase_backend: str = "instance",
 ) -> SweepResult:
     """Run (or resume) a workload sweep and return its rows in plan order.
 
@@ -451,11 +461,24 @@ def run_sweep(
         :data:`DETERMINISTIC_COLUMNS`, so it does not enter the checkpoint
         fingerprint and a checkpoint may be resumed under a different
         setting with byte-identical aggregate tables.
+    chase_backend:
+        Store backend for ``chase`` tasks (one of
+        :data:`~repro.chase.engine.BACKENDS`; ``"sqlite"`` chases each task
+        into a transient per-worker SQLite database).  Another execution
+        knob: the cross-backend conformance guarantee keeps every
+        deterministic column identical, so it stays out of the fingerprint
+        too.  Persistent ``sqlite:<path>`` specs are rejected — pooled
+        workers must not share one database file.
     """
     if workers < 1:
         raise ExperimentConfigError("workers must be >= 1")
     if chase_workers < 1:
         raise ExperimentConfigError("chase_workers must be >= 1")
+    if chase_backend not in BACKENDS:
+        raise ExperimentConfigError(
+            f"chase_backend must be one of {BACKENDS}, got {chase_backend!r} "
+            "(persistent sqlite:<path> stores cannot be shared by sweep workers)"
+        )
     kinds = tuple(dict.fromkeys(kinds))
     tasks = plan_sweep(config, kinds)
     fingerprint = sweep_fingerprint(config, kinds, incremental)
@@ -491,7 +514,9 @@ def run_sweep(
         if not pending:
             pass  # fully resumed: nothing to build, nothing to run
         elif workers == 1:
-            state = _WorkerState(config, pending_kinds, incremental, chase_workers)
+            state = _WorkerState(
+                config, pending_kinds, incremental, chase_workers, chase_backend
+            )
             for task in pending:
                 task_start = time.perf_counter()
                 rows = _json_roundtrip(_execute_task(state, task))
@@ -504,7 +529,7 @@ def run_sweep(
             with futures.ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_worker,
-                initargs=(config, pending_kinds, incremental, chase_workers),
+                initargs=(config, pending_kinds, incremental, chase_workers, chase_backend),
             ) as pool:
                 submitted = [pool.submit(_run_task_in_worker, task) for task in pending]
                 for future in futures.as_completed(submitted):

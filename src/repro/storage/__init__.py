@@ -17,10 +17,14 @@ from .shape_finder import (
     ShapeFinderStats,
     find_shapes,
 )
+from .sqlbackend import SqlTriggerSource, SqliteAtomStore, SqliteShapeFinder
 from .views import PrefixView
 
 __all__ = [
     "AtomStore",
+    "SqlTriggerSource",
+    "SqliteAtomStore",
+    "SqliteShapeFinder",
     "DeltaShapeFinder",
     "InDatabaseShapeFinder",
     "InMemoryShapeFinder",

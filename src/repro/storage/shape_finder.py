@@ -138,6 +138,17 @@ class InDatabaseShapeFinder(_BaseShapeFinder):
     def __init__(self, store):
         super().__init__(store)
 
+    def _shape_exists(self, relation, shape: Shape, relaxed: bool) -> bool:
+        """Evaluate one (relaxed) shape existence query against *relation*.
+
+        The single point where a query touches data: this base implementation
+        scans the relation's rows in-process, and the SQL backend
+        (:class:`repro.storage.sqlbackend.shapes.SqliteShapeFinder`) overrides
+        it to execute the rendered ``EXISTS`` query inside the database —
+        the enumeration and Apriori pruning above it are shared verbatim.
+        """
+        return shape_exists(relation.rows(), shape, relaxed=relaxed)
+
     def _mergeable_pairs(self, relation) -> Set[tuple]:
         """Relaxed pair queries: the attribute pairs that are equal in some tuple."""
         arity = relation.predicate.arity
@@ -148,7 +159,7 @@ class InDatabaseShapeFinder(_BaseShapeFinder):
                 pair_shape = self._pair_shape(relation.predicate.name, arity, i, j)
                 self.stats.queries_issued += 1
                 self.stats.relaxed_queries_issued += 1
-                if shape_exists(relation.rows(), pair_shape, relaxed=True):
+                if self._shape_exists(relation, pair_shape, relaxed=True):
                     mergeable.add((i, j))
         return mergeable
 
@@ -208,7 +219,7 @@ class InDatabaseShapeFinder(_BaseShapeFinder):
                 # which exists iff the relation holds at least one tuple.
                 only_shape = Shape(predicate.name, (1,) * predicate.arity)
                 self.stats.queries_issued += 1
-                if shape_exists(relation.rows(), only_shape, relaxed=False):
+                if self._shape_exists(relation, only_shape, relaxed=False):
                     shapes.add(only_shape)
                 continue
             mergeable = self._mergeable_pairs(relation)
@@ -225,12 +236,12 @@ class InDatabaseShapeFinder(_BaseShapeFinder):
                 if forced_equalities:
                     self.stats.queries_issued += 1
                     self.stats.relaxed_queries_issued += 1
-                    if not shape_exists(relation.rows(), shape, relaxed=True):
+                    if not self._shape_exists(relation, shape, relaxed=True):
                         failed_equality_sets.append(forced_equalities)
                         self.stats.shapes_pruned += 1
                         continue
                 self.stats.queries_issued += 1
-                if shape_exists(relation.rows(), shape, relaxed=False):
+                if self._shape_exists(relation, shape, relaxed=False):
                     shapes.add(shape)
         self.stats.shapes_found = len(shapes)
         return shapes

@@ -1,0 +1,27 @@
+"""The persistent SQL substrate: SQLite-backed storage, joins, and shape queries.
+
+Three layers, all speaking the protocols the rest of the system already
+uses, so the chase and the termination checkers run against a disk file
+exactly as they run in memory:
+
+* :class:`SqliteAtomStore` — the :class:`~repro.storage.atom_store.AtomStore`
+  over one SQLite database (``chase --backend sqlite[:path]``);
+* :class:`SqlTriggerSource` — trigger matching as parameterized SQL joins
+  executed inside SQLite (``chase --strategy sql``);
+* :class:`SqliteShapeFinder` — the paper's in-database ``FindShapes``
+  issuing real ``EXISTS`` queries instead of Python row scans.
+"""
+
+from .plans import CompiledBodyQuery, SqlTriggerSource
+from .shapes import SqliteShapeFinder, shape_query_sqlite
+from .store import MEMORY_PATH, SqliteAtomStore, table_name
+
+__all__ = [
+    "CompiledBodyQuery",
+    "MEMORY_PATH",
+    "SqlTriggerSource",
+    "SqliteAtomStore",
+    "SqliteShapeFinder",
+    "shape_query_sqlite",
+    "table_name",
+]

@@ -1,0 +1,545 @@
+"""``SqliteAtomStore``: the persistent, disk-resident :class:`AtomStore`.
+
+The paper runs IsChaseFinite[L] against PostgreSQL; the in-process
+:class:`~repro.storage.database.RelationalDatabase` stands in for it but is
+capped by RAM and forgets everything at process exit.  This module is the
+real SQL substrate: one SQLite file (or ``":memory:"``) holding one table
+per predicate, speaking the full :class:`~repro.storage.atom_store.AtomStore`
+protocol so every chase engine — serial, indexed, and the hash-partitioned
+parallel executor — runs against it unchanged.
+
+Design notes
+------------
+
+* **Schema/catalog** — each predicate ``R/n`` gets a table ``rel_^r``
+  (:func:`table_name` case-escapes the predicate name, because SQLite
+  identifiers are case-insensitive even quoted) with
+  ``TEXT`` columns ``c0..c{n-1}``, a monotone ``seq`` column (global
+  insertion order, the semi-naive round watermark used by
+  :class:`~repro.storage.sqlbackend.plans.SqlTriggerSource`), and a
+  ``UNIQUE`` index over the value columns for O(log n) dedup.  The
+  ``repro_catalog`` table records name/arity pairs so a reopened file
+  reconstructs its predicates without scanning data.
+* **Term encoding** — rows reuse the ``_:`` null convention of
+  :mod:`repro.storage.relation` (:func:`encode_term` / :func:`decode_value`,
+  escape marker included), so chase-invented nulls round-trip through the
+  file byte-for-byte and files are interchangeable with the in-process
+  backend's row logs.
+* **Position indexes** — per ``(predicate, position)`` covering indexes are
+  created lazily on the first ``atoms_matching`` lookup binding that
+  position, mirroring ``Instance``'s lazily-built position indexes; the
+  unique value index already serves position 0.
+* **Batching** — the store runs in manual-transaction mode: writes open one
+  transaction that is committed on :meth:`flush`/:meth:`close`.  The chase
+  engines flush at every round boundary (and in a ``finally`` on return or
+  raise), so a round's inserts cost one fsync, not one per atom, and a hard
+  crash loses at most the round in flight.  ``add_atoms`` bulk loads via
+  ``executemany``.
+* **Partitioned scans** — ``atoms_partition`` pushes the stable partition
+  hash into SQLite through a registered deterministic SQL function, so the
+  parallel executor's round-0 scans filter rows inside the database rather
+  than decoding every atom in Python first.
+
+Connection lifecycle: one connection per store, created with
+``check_same_thread=False``.  The ``sqlite3`` module serializes access, so
+the thread pool of the parallel chase may share a store; process pools never
+share — each worker opens its own in-memory replica (connections are not
+picklable, which is exactly why the parallel executor ships *work*, never
+stores).
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+from typing import Collection, Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from ...core.atoms import Atom
+from ...core.indexing import partition_hash
+from ...core.instances import Database, Instance
+from ...core.predicates import Predicate
+from ...core.terms import Term
+from ...exceptions import StorageError, ValidationError
+from ..relation import decode_value, encode_term
+
+#: The path spelling selecting a transient in-memory database.
+MEMORY_PATH = ":memory:"
+
+#: Name of the catalog table (predicate name -> arity).
+CATALOG_TABLE = "repro_catalog"
+
+
+def _quote(identifier: str) -> str:
+    """Quote an SQL identifier (predicate names are user-controlled)."""
+    return '"' + identifier.replace('"', '""') + '"'
+
+
+def table_name(predicate_name: str) -> str:
+    """Return the (unquoted) table name storing a predicate's relation.
+
+    SQLite table names are case-insensitive even when quoted, so uppercase
+    letters are case-escaped (``^`` + lowercase; ``^`` escapes itself) to
+    keep the mapping injective — ``Foo`` and ``FOO`` are distinct
+    predicates on the in-memory backends and must stay distinct tables
+    (``rel_^foo`` vs ``rel_^f^o^o``).
+    """
+    encoded = []
+    for char in predicate_name:
+        if char == "^":
+            encoded.append("^^")
+        elif char.isupper():
+            encoded.append("^" + char.lower())
+        else:
+            encoded.append(char)
+    return "rel_" + "".join(encoded)
+
+
+def _partition_udf(n_partitions, *values) -> int:
+    """The SQL-side partition function: stable hash of encoded key values.
+
+    Values arrive encoded (``_:``-prefixed nulls), so decoding restores the
+    exact term identity :func:`~repro.core.indexing.partition_hash` hashes —
+    every store, SQL or in-memory, agrees on ownership.
+    """
+    terms = tuple(decode_value(value) for value in values)
+    return partition_hash(terms) % int(n_partitions)
+
+
+class SqliteAtomStore:
+    """A persistent :class:`AtomStore` over one SQLite database.
+
+    Parameters
+    ----------
+    path:
+        Database file, or ``":memory:"`` (default) for a transient store.
+        Opening an existing file restores its catalog, counts, and sequence
+        watermark, so a chase can resume from persisted atoms.
+    name:
+        Cosmetic store name used in ``repr``.
+    """
+
+    def __init__(self, path: str = MEMORY_PATH, name: str = "sqlite"):
+        self.name = name
+        self.path = path
+        try:
+            self._connection = sqlite3.connect(
+                path, check_same_thread=False, isolation_level=None
+            )
+        except sqlite3.Error as error:
+            raise StorageError(
+                f"cannot open sqlite database at {path!r}: {error}"
+            ) from None
+        self._closed = False
+        self._in_transaction = False
+        # Guards the check-then-BEGIN/commit pair: sqlite3 releases the GIL
+        # inside execute(), so two parallel-chase worker threads taking
+        # their first lazy-index write concurrently could otherwise both
+        # issue BEGIN.
+        self._transaction_lock = threading.Lock()
+        self._connection.create_function(
+            "repro_partition", -1, _partition_udf, deterministic=True
+        )
+        #: predicate name -> Predicate (the catalog, mirrored in memory).
+        self._predicates: Dict[str, Predicate] = {}
+        #: predicate name -> row count (kept incrementally; avoids COUNT(*)
+        #: in the join-order heuristic's hot loop).
+        self._counts: Dict[str, int] = {}
+        #: (predicate name, position) pairs with a created index.
+        self._indexed: Set[Tuple[str, int]] = set()
+        self._seq = 0
+        # connect() is lazy: a locked, corrupt, or non-database file only
+        # fails at the first statement, so the whole bootstrap shares the
+        # StorageError contract.
+        try:
+            if self.is_persistent:
+                # One fsync per commit, not per statement; WAL keeps readers
+                # consistent if the process dies mid-transaction.
+                self._connection.execute("PRAGMA journal_mode=WAL")
+                self._connection.execute("PRAGMA synchronous=NORMAL")
+            self._connection.execute(
+                f"CREATE TABLE IF NOT EXISTS {CATALOG_TABLE} "
+                "(name TEXT PRIMARY KEY, arity INTEGER NOT NULL)"
+            )
+            self._load_catalog()
+        except sqlite3.Error as error:
+            self._connection.close()
+            self._closed = True
+            raise StorageError(
+                f"cannot open sqlite database at {path!r}: {error}"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # Connection lifecycle
+
+    @property
+    def is_persistent(self) -> bool:
+        """``True`` when the store is backed by a file (survives the process)."""
+        return self.path != MEMORY_PATH
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The underlying connection (used by the SQL trigger/shape layers)."""
+        return self._connection
+
+    def _load_catalog(self) -> None:
+        rows = self._connection.execute(
+            f"SELECT name, arity FROM {CATALOG_TABLE} ORDER BY name"
+        ).fetchall()
+        for predicate_name, arity in rows:
+            predicate = Predicate(predicate_name, arity)
+            self._predicates[predicate_name] = predicate
+            table = _quote(table_name(predicate_name))
+            count, top = self._connection.execute(
+                f"SELECT COUNT(*), COALESCE(MAX(seq), 0) FROM {table}"
+            ).fetchone()
+            self._counts[predicate_name] = count
+            self._seq = max(self._seq, top)
+
+    def _begin(self) -> None:
+        with self._transaction_lock:
+            if not self._in_transaction:
+                self._connection.execute("BEGIN")
+                self._in_transaction = True
+
+    def flush(self) -> None:
+        """Commit the open write transaction (durability point for files)."""
+        with self._transaction_lock:
+            if self._in_transaction:
+                self._connection.commit()
+                self._in_transaction = False
+
+    def close(self) -> None:
+        """Commit and close the connection; the store is unusable afterwards."""
+        if self._closed:
+            return
+        self.flush()
+        self._connection.close()
+        self._closed = True
+
+    def __enter__(self) -> "SqliteAtomStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self):
+        where = self.path if self.is_persistent else "memory"
+        return f"SqliteAtomStore({self.name!r}, {where}, {self.atom_count()} atoms)"
+
+    def file_size(self) -> int:
+        """Return the on-disk size in bytes (0 for in-memory stores).
+
+        Commits and checkpoints the WAL first so the reported size reflects
+        every atom added so far.
+        """
+        if not self.is_persistent:
+            return 0
+        self.flush()
+        self._connection.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        return os.path.getsize(self.path) if os.path.exists(self.path) else 0
+
+    def current_seq(self) -> int:
+        """The insertion-sequence watermark (the semi-naive round boundary)."""
+        return self._seq
+
+    # ------------------------------------------------------------------ #
+    # Schema management
+
+    @staticmethod
+    def _columns(arity: int) -> List[str]:
+        # Nullary predicates get a sentinel column (SQL tables need >= 1);
+        # its unique constant value makes INSERT OR IGNORE dedup work there
+        # too.
+        if arity == 0:
+            return ["c_sentinel"]
+        return [f"c{i}" for i in range(arity)]
+
+    def create_relation(self, predicate: Predicate) -> None:
+        """Create (or validate) the table for *predicate*."""
+        existing = self._predicates.get(predicate.name)
+        if existing is not None:
+            if existing.arity != predicate.arity:
+                raise StorageError(
+                    f"relation {predicate.name!r} already exists with arity "
+                    f"{existing.arity}, cannot recreate with arity {predicate.arity}"
+                )
+            return
+        columns = self._columns(predicate.arity)
+        column_ddl = ", ".join(f"{column} TEXT NOT NULL" for column in columns)
+        unique = ", ".join(columns)
+        self._begin()
+        table = table_name(predicate.name)
+        self._connection.execute(
+            f"CREATE TABLE IF NOT EXISTS {_quote(table)} "
+            f"({column_ddl}, seq INTEGER NOT NULL, UNIQUE({unique}))"
+        )
+        # The semi-naive delta queries constrain the seed slot with
+        # `seq > :delta_start`; without this index every delta round would
+        # rescan the whole seed table instead of just the delta suffix.
+        self._connection.execute(
+            f"CREATE INDEX IF NOT EXISTS {_quote(f'idx_{table}_seq')} "
+            f"ON {_quote(table)} (seq)"
+        )
+        self._connection.execute(
+            f"INSERT OR IGNORE INTO {CATALOG_TABLE} (name, arity) VALUES (?, ?)",
+            (predicate.name, predicate.arity),
+        )
+        self._predicates[predicate.name] = predicate
+        self._counts[predicate.name] = 0
+
+    def _table_for(self, predicate: Predicate) -> Optional[str]:
+        """Return the quoted table name when *predicate* matches the catalog."""
+        existing = self._predicates.get(predicate.name)
+        if existing is None or existing.arity != predicate.arity:
+            return None
+        return _quote(table_name(predicate.name))
+
+    def has_relation(self, predicate: Predicate) -> bool:
+        """``True`` when the catalog holds *predicate* with a matching arity."""
+        return self._table_for(predicate) is not None
+
+    def _ensure_position_index(self, predicate: Predicate, position: int) -> None:
+        """Create the covering index for ``(predicate, position)`` lazily.
+
+        Position 0 is already served by the leading column of the UNIQUE
+        value index, so only later positions get their own index — the same
+        "build on first indexed lookup, keep forever" policy as
+        ``Instance``'s position indexes.
+        """
+        if position == 0 or (predicate.name, position) in self._indexed:
+            return
+        # Index names share the table's case-escaped form: the index
+        # namespace is case-insensitive too.
+        index = _quote(f"idx_{table_name(predicate.name)}_p{position}")
+        table = _quote(table_name(predicate.name))
+        self._begin()
+        self._connection.execute(
+            f"CREATE INDEX IF NOT EXISTS {index} ON {table} (c{position})"
+        )
+        self._indexed.add((predicate.name, position))
+
+    # ------------------------------------------------------------------ #
+    # Row encoding
+
+    @staticmethod
+    def _encode(atom: Atom) -> Tuple[str, ...]:
+        if not atom.terms:
+            return ("0",)  # the nullary sentinel value
+        return tuple(encode_term(term) for term in atom.terms)
+
+    @staticmethod
+    def _decode(predicate: Predicate, row: Tuple[str, ...]) -> Atom:
+        if predicate.arity == 0:
+            return Atom(predicate, ())
+        return Atom(predicate, tuple(decode_value(value) for value in row))
+
+    # ------------------------------------------------------------------ #
+    # AtomStore protocol: mutation
+
+    def add_atom(self, atom: Atom) -> bool:
+        """Add *atom*; return ``True`` when it was not already present."""
+        if not atom.is_ground():
+            raise ValidationError(f"stores hold ground atoms only, got {atom!r}")
+        self.create_relation(atom.predicate)
+        table = _quote(table_name(atom.predicate.name))
+        columns = self._columns(atom.predicate.arity)
+        placeholders = ", ".join("?" for _ in columns)
+        self._begin()
+        cursor = self._connection.execute(
+            f"INSERT OR IGNORE INTO {table} ({', '.join(columns)}, seq) "
+            f"VALUES ({placeholders}, ?)",
+            self._encode(atom) + (self._seq + 1,),
+        )
+        if cursor.rowcount != 1:
+            return False
+        self._seq += 1
+        self._counts[atom.predicate.name] += 1
+        return True
+
+    def add_atoms(self, atoms: Iterable[Atom]) -> int:
+        """Bulk-insert *atoms* (batched per predicate); return how many were new.
+
+        The batch runs inside the store's open transaction, so loading a
+        million-row database costs one commit.  Sequence numbers stay
+        monotone in iteration order; a duplicate (ignored) row still
+        consumes one, leaving a gap — harmless, because the semi-naive
+        watermark is a snapshot of ``current_seq()``, never row arithmetic
+        (see :class:`~repro.storage.sqlbackend.plans.SqlTriggerSource`).
+        """
+        added = 0
+        batch: List[Tuple] = []
+        batch_predicate: Optional[Predicate] = None
+
+        def flush_batch() -> int:
+            nonlocal batch
+            if not batch or batch_predicate is None:
+                return 0
+            table = _quote(table_name(batch_predicate.name))
+            columns = self._columns(batch_predicate.arity)
+            placeholders = ", ".join("?" for _ in columns)
+            before = self._connection.total_changes
+            self._connection.executemany(
+                f"INSERT OR IGNORE INTO {table} ({', '.join(columns)}, seq) "
+                f"VALUES ({placeholders}, ?)",
+                batch,
+            )
+            inserted = self._connection.total_changes - before
+            self._counts[batch_predicate.name] += inserted
+            batch = []
+            return inserted
+
+        self._begin()
+        for atom in atoms:
+            if not atom.is_ground():
+                raise ValidationError(f"stores hold ground atoms only, got {atom!r}")
+            if batch_predicate is None or atom.predicate != batch_predicate:
+                added += flush_batch()
+                batch_predicate = atom.predicate
+                self.create_relation(atom.predicate)
+            self._seq += 1
+            batch.append(self._encode(atom) + (self._seq,))
+        added += flush_batch()
+        return added
+
+    def load_database(self, database: Database) -> int:
+        """Bulk-load a :class:`~repro.core.instances.Database`; return the new-row count."""
+        return self.add_atoms(database)
+
+    # ------------------------------------------------------------------ #
+    # AtomStore protocol: queries
+
+    def has_atom(self, atom: Atom) -> bool:
+        """Return ``True`` when *atom* is stored."""
+        table = self._table_for(atom.predicate)
+        if table is None:
+            return False
+        columns = self._columns(atom.predicate.arity)
+        where = " AND ".join(f"{column} = ?" for column in columns)
+        row = self._connection.execute(
+            f"SELECT 1 FROM {table} WHERE {where} LIMIT 1", self._encode(atom)
+        ).fetchone()
+        return row is not None
+
+    def iter_atoms(self) -> Iterator[Atom]:
+        """Iterate over all stored atoms (no ordering guarantee)."""
+        for predicate_name in sorted(self._predicates):
+            predicate = self._predicates[predicate_name]
+            yield from self.atoms_with_predicate(predicate)
+
+    def atom_count(self) -> int:
+        """Return the number of (distinct) stored atoms."""
+        return sum(self._counts.values())
+
+    def atoms_with_predicate(self, predicate: Predicate) -> Collection[Atom]:
+        """Return the stored atoms over *predicate* (decoded scan)."""
+        table = self._table_for(predicate)
+        if table is None:
+            return ()
+        columns = self._columns(predicate.arity)
+        rows = self._connection.execute(
+            f"SELECT {', '.join(columns)} FROM {table}"
+        ).fetchall()
+        return [self._decode(predicate, row) for row in rows]
+
+    def atoms_matching(
+        self, predicate: Predicate, bindings: Optional[Mapping[int, Term]] = None
+    ) -> Iterable[Atom]:
+        """Return the atoms over *predicate* matching positional *bindings*.
+
+        Bound positions are pushed down as ``WHERE`` equalities over the
+        encoded values; each bound position (beyond 0) lazily gets its
+        covering index on first use.
+        """
+        if not bindings:
+            return self.atoms_with_predicate(predicate)
+        table = self._table_for(predicate)
+        if table is None:
+            return ()
+        columns = self._columns(predicate.arity)
+        conditions = []
+        parameters: List[str] = []
+        for position in sorted(bindings):
+            if not 0 <= position < predicate.arity:
+                # Same semantics as the hash-index backends: a binding on a
+                # position the predicate does not have matches nothing.
+                return ()
+            self._ensure_position_index(predicate, position)
+            conditions.append(f"c{position} = ?")
+            parameters.append(encode_term(bindings[position]))
+        rows = self._connection.execute(
+            f"SELECT {', '.join(columns)} FROM {table} WHERE {' AND '.join(conditions)}",
+            parameters,
+        ).fetchall()
+        return [self._decode(predicate, row) for row in rows]
+
+    def atoms_partition(
+        self,
+        predicate: Predicate,
+        key_positions: Tuple[int, ...],
+        n_partitions: int,
+        partition_index: int,
+    ) -> Iterator[Atom]:
+        """Yield the atoms over *predicate* owned by one hash partition.
+
+        The stable partition hash runs *inside* SQLite (a registered
+        deterministic function over the encoded key columns), so non-owned
+        rows are filtered before any Python-side decoding happens.
+        """
+        table = self._table_for(predicate)
+        if table is None:
+            return
+        columns = self._columns(predicate.arity)
+        if n_partitions <= 1:
+            rows = self._connection.execute(
+                f"SELECT {', '.join(columns)} FROM {table}"
+            ).fetchall()
+        else:
+            if key_positions:
+                key_columns = ", ".join(f"c{position}" for position in key_positions)
+            elif predicate.arity == 0:
+                key_columns = ""  # hash of the empty tuple
+            else:
+                key_columns = ", ".join(columns)
+            hash_args = f"?, {key_columns}" if key_columns else "?"
+            rows = self._connection.execute(
+                f"SELECT {', '.join(columns)} FROM {table} "
+                f"WHERE repro_partition({hash_args}) = ?",
+                (n_partitions, partition_index),
+            ).fetchall()
+        for row in rows:
+            yield self._decode(predicate, row)
+
+    def predicate_cardinality(self, predicate: Predicate) -> int:
+        """Return the number of atoms over *predicate* (answered from the count cache)."""
+        if self._table_for(predicate) is None:
+            return 0
+        return self._counts.get(predicate.name, 0)
+
+    def predicates(self) -> List[Predicate]:
+        """Return the predicates with at least one atom, sorted by name."""
+        return [
+            self._predicates[name]
+            for name in sorted(self._predicates)
+            if self._counts.get(name, 0) > 0
+        ]
+
+    def catalog_predicates(self) -> List[Predicate]:
+        """Return every catalogued predicate (empty relations included)."""
+        return [self._predicates[name] for name in sorted(self._predicates)]
+
+    # ------------------------------------------------------------------ #
+    # Conversion
+
+    def to_instance(self) -> Instance:
+        """Materialise the stored atoms (constants *and* nulls) as an :class:`Instance`."""
+        return Instance(self.iter_atoms())
+
+    @classmethod
+    def from_database(
+        cls, database: Database, path: str = MEMORY_PATH, name: str = "sqlite"
+    ) -> "SqliteAtomStore":
+        """Build a store from a fact set (batched load)."""
+        store = cls(path=path, name=name)
+        store.load_database(database)
+        return store

@@ -196,6 +196,22 @@ class TestCheckpointResume:
         with pytest.raises(ExperimentConfigError):
             run_sweep(TINY, chase_workers=0)
 
+    def test_chase_backend_is_an_execution_knob(self):
+        # Same deterministic rows and aggregates on every store backend; the
+        # raw rows record which backend materialised them.
+        reference = run_sweep(TINY, kinds=("chase",), workers=1)
+        sqlite = run_sweep(TINY, kinds=("chase",), workers=1, chase_backend="sqlite")
+        assert _deterministic(sqlite.rows) == _deterministic(reference.rows)
+        assert sweep_summary(sqlite.rows) == sweep_summary(reference.rows)
+        assert {row["chase_backend"] for row in sqlite.rows} == {"sqlite"}
+
+    def test_chase_backend_validation(self):
+        with pytest.raises(ExperimentConfigError, match="chase_backend"):
+            run_sweep(TINY, chase_backend="oracle")
+        with pytest.raises(ExperimentConfigError, match="chase_backend"):
+            # Pooled workers must not share one database file.
+            run_sweep(TINY, chase_backend="sqlite:/tmp/sweep.db")
+
     def test_fully_resumed_sweep_skips_worker_state(self, tmp_path, monkeypatch):
         checkpoint = tmp_path / "sweep.jsonl"
         run_sweep(TINY, workers=1, checkpoint_path=checkpoint)

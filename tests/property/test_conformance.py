@@ -7,8 +7,9 @@ Three families of properties, all over random programs from
   serial engine, and the hash-partitioned parallel executor (every pool
   kind) produce the *same* ``ChaseResult``: termination verdict, round and
   trigger counts, and the exact instance, null names included;
-* **backend conformance** — the relational store chases to the same result
-  as the in-memory instance, serial and parallel;
+* **backend conformance** — the relational and sqlite stores chase to the
+  same result as the in-memory instance, serial and parallel, and the
+  pushed-down ``"sql"`` trigger strategy agrees with the in-memory engines;
 * **oracle conformance** — on inputs where the materialization baseline is
   conclusive, ``IsChaseFinite[L]`` returns the same verdict.
 
@@ -99,6 +100,45 @@ class TestEngineConformance:
         )
         assert fingerprint(parallel) == expected, "relational parallel != instance"
         assert parallel.store.atom_count() == len(parallel.instance)
+
+    @given(chase_programs(), st.sampled_from(VARIANTS))
+    def test_sqlite_backend_conforms(self, program, variant):
+        database, tgds = program
+        note(describe_program(database, tgds))
+        expected = fingerprint(
+            chase(database, tgds, variant=variant, limits=LIMITS)
+        )
+        serial = chase(
+            database, tgds, variant=variant, limits=LIMITS, backend="sqlite"
+        )
+        assert fingerprint(serial) == expected, "sqlite serial != instance"
+        assert serial.store.atom_count() == len(serial.instance)
+
+        # The pushed-down SQL join strategy: body matching runs inside
+        # SQLite, yet the ChaseResult must stay byte-identical.
+        pushed = chase(
+            database,
+            tgds,
+            variant=variant,
+            limits=LIMITS,
+            backend="sqlite",
+            strategy="sql",
+        )
+        assert fingerprint(pushed) == expected, "sqlite sql strategy != instance"
+
+        for workers, executor in ((2, "serial"), (3, "thread"), (2, "process")):
+            parallel = parallel_chase(
+                database,
+                tgds,
+                variant=variant,
+                workers=workers,
+                limits=LIMITS,
+                backend="sqlite",
+                executor=executor,
+            )
+            assert fingerprint(parallel) == expected, (
+                f"sqlite parallel(workers={workers}, executor={executor}) != instance"
+            )
 
 
 class TestTerminationOracleConformance:

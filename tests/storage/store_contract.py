@@ -1,0 +1,194 @@
+"""The reusable ``AtomStore`` protocol-compliance harness.
+
+Any store that wants to run under the chase engines must pass this
+contract.  Subclass :class:`AtomStoreContract` in a ``test_*.py`` module
+and override :meth:`make_store`; pytest collects every ``test_*`` method of
+the subclass against that backend.  The assertions encode the documented
+protocol semantics (``storage/atom_store.py``), including the parts the
+trigger engine and the parallel executor silently rely on:
+
+* dedup and ground-atom validation on ``add_atom``;
+* null identity surviving storage (the ``_:`` encoding round-trip,
+  marker-shaped constant names included — the escape regression);
+* ``atoms_matching`` binding semantics (empty bindings = full relation,
+  out-of-range positions match nothing, arity mismatches are empty rather
+  than errors);
+* ``atoms_partition`` agreeing with :func:`repro.core.indexing.atom_partition_of`
+  so every store — shared or replica — assigns each atom to the same owner.
+
+See ``tests/storage/test_store_contract.py`` for the three shipped
+backends, and ARCHITECTURE.md ("Plugging in a new backend") for how to
+certify a new one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.indexing import atom_partition_of
+from repro.core.predicates import Predicate
+from repro.core.terms import Constant, Null, Variable
+from repro.exceptions import ValidationError
+from repro.storage.atom_store import AtomStore
+
+R = Predicate("R", 2)
+S = Predicate("S", 3)
+EMPTY = Predicate("Empty", 1)
+NULLARY = Predicate("Flag", 0)
+
+
+def a(name: str) -> Constant:
+    return Constant(name)
+
+
+class AtomStoreContract:
+    """Protocol-compliance tests shared by every ``AtomStore`` backend."""
+
+    def make_store(self, tmp_path):
+        """Build a fresh, empty store (override per backend)."""
+        raise NotImplementedError
+
+    @pytest.fixture
+    def store(self, tmp_path):
+        store = self.make_store(tmp_path)
+        yield store
+        close = getattr(store, "close", None)
+        if close is not None:
+            close()
+
+    @pytest.fixture
+    def loaded(self, store):
+        """The store holding a small two-predicate instance."""
+        for atom in (
+            Atom(R, (a("a"), a("b"))),
+            Atom(R, (a("a"), a("c"))),
+            Atom(R, (a("b"), a("c"))),
+            Atom(S, (a("a"), a("b"), a("b"))),
+        ):
+            store.add_atom(atom)
+        return store
+
+    # ------------------------------------------------------------------ #
+    # Protocol shape and mutation
+
+    def test_implements_the_protocol(self, store):
+        assert isinstance(store, AtomStore)
+
+    def test_add_atom_deduplicates(self, store):
+        atom = Atom(R, (a("a"), a("b")))
+        assert store.add_atom(atom)
+        assert not store.add_atom(atom)
+        assert store.atom_count() == 1
+        assert store.has_atom(atom)
+        assert list(store.iter_atoms()) == [atom]
+
+    def test_add_atom_rejects_non_ground(self, store):
+        with pytest.raises(ValidationError):
+            store.add_atom(Atom(R, (Variable("x"), a("b"))))
+        assert store.atom_count() == 0
+
+    def test_nullary_atoms(self, store):
+        atom = Atom(NULLARY, ())
+        assert store.add_atom(atom)
+        assert not store.add_atom(atom)
+        assert store.has_atom(atom)
+        assert store.predicate_cardinality(NULLARY) == 1
+        assert list(store.atoms_matching(NULLARY)) == [atom]
+
+    # ------------------------------------------------------------------ #
+    # Null identity and the `_:` encoding round-trip
+
+    def test_nulls_survive_storage(self, store):
+        atom = Atom(R, (a("a"), Null("n1")))
+        store.add_atom(atom)
+        assert store.has_atom(atom)
+        assert not store.has_atom(Atom(R, (a("a"), a("n1"))))
+        assert set(store.iter_atoms()) == {atom}
+
+    def test_marker_shaped_constants_round_trip(self, store):
+        # Regression: a Constant whose own name starts with the null marker
+        # "_:" (or the escape marker "_e:") must come back as that Constant,
+        # never mutate into a Null — on every backend.
+        tricky = [
+            Atom(R, (a("_:x"), Null("x"))),
+            Atom(R, (a("_e:x"), a("_:_e:y"))),
+            Atom(R, (Null("_:n"), a("_e:_:z"))),
+        ]
+        for atom in tricky:
+            assert store.add_atom(atom)
+        assert set(store.iter_atoms()) == set(tricky)
+        for atom in tricky:
+            assert store.has_atom(atom)
+        # The null and the same-named constant stay distinct atoms.
+        assert not store.has_atom(Atom(R, (a("x"), Null("x"))))
+
+    # ------------------------------------------------------------------ #
+    # Queries
+
+    def test_atoms_with_predicate(self, loaded):
+        assert set(loaded.atoms_with_predicate(R)) == {
+            Atom(R, (a("a"), a("b"))),
+            Atom(R, (a("a"), a("c"))),
+            Atom(R, (a("b"), a("c"))),
+        }
+        assert list(loaded.atoms_with_predicate(EMPTY)) == []
+
+    def test_atoms_matching_bindings(self, loaded):
+        assert set(loaded.atoms_matching(R)) == set(loaded.atoms_with_predicate(R))
+        assert set(loaded.atoms_matching(R, {0: a("a")})) == {
+            Atom(R, (a("a"), a("b"))),
+            Atom(R, (a("a"), a("c"))),
+        }
+        assert list(loaded.atoms_matching(R, {0: a("a"), 1: a("c")})) == [
+            Atom(R, (a("a"), a("c")))
+        ]
+        assert list(loaded.atoms_matching(R, {1: a("z")})) == []
+        assert list(loaded.atoms_matching(EMPTY, {0: a("a")})) == []
+
+    def test_atoms_matching_out_of_range_position_is_empty(self, loaded):
+        assert list(loaded.atoms_matching(R, {7: a("a")})) == []
+
+    def test_arity_mismatch_is_empty_not_error(self, loaded):
+        other = Predicate("R", 3)
+        assert list(loaded.atoms_matching(other)) == []
+        assert loaded.predicate_cardinality(other) == 0
+
+    def test_predicates_and_cardinalities(self, loaded):
+        assert set(loaded.predicates()) == {R, S}
+        assert loaded.predicate_cardinality(R) == 3
+        assert loaded.predicate_cardinality(S) == 1
+        assert loaded.predicate_cardinality(EMPTY) == 0
+        assert loaded.atom_count() == 4
+        assert len(list(loaded.iter_atoms())) == 4
+
+    # ------------------------------------------------------------------ #
+    # Partitioned scans (the parallel executor's round-0 access path)
+
+    @pytest.mark.parametrize("key_positions", [(), (0,), (1,), (0, 1)])
+    @pytest.mark.parametrize("n_partitions", [1, 2, 3])
+    def test_atoms_partition_is_a_disjoint_cover(self, loaded, key_positions, n_partitions):
+        everything = set(loaded.atoms_with_predicate(R))
+        seen = []
+        for index in range(n_partitions):
+            part = list(loaded.atoms_partition(R, key_positions, n_partitions, index))
+            assert len(part) == len(set(part))
+            for atom in part:
+                # Ownership must agree with the shared stable hash, or
+                # replicas and the coordinator would disagree.
+                assert atom_partition_of(atom, key_positions, n_partitions) == index
+            seen.extend(part)
+        assert set(seen) == everything
+        assert len(seen) == len(everything)
+
+    def test_atoms_partition_of_unknown_predicate_is_empty(self, loaded):
+        assert list(loaded.atoms_partition(EMPTY, (), 2, 0)) == []
+
+    def test_atoms_partition_with_nulls(self, store):
+        atoms = {Atom(R, (Null(f"n{i}"), a("b"))) for i in range(6)}
+        for atom in atoms:
+            store.add_atom(atom)
+        collected = set()
+        for index in range(3):
+            collected.update(store.atoms_partition(R, (0,), 3, index))
+        assert collected == atoms

@@ -1,0 +1,32 @@
+"""All three ``AtomStore`` backends certified against the shared contract.
+
+One subclass per backend (plus the file-backed sqlite variant, whose rows
+survive on disk) — adding a backend to the system means adding a subclass
+here.  The harness itself lives in ``tests/storage/store_contract.py``.
+"""
+
+from repro.core.instances import Instance
+from repro.storage.database import RelationalDatabase
+from repro.storage.sqlbackend import SqliteAtomStore
+
+from tests.storage.store_contract import AtomStoreContract
+
+
+class TestInstanceContract(AtomStoreContract):
+    def make_store(self, tmp_path):
+        return Instance()
+
+
+class TestRelationalDatabaseContract(AtomStoreContract):
+    def make_store(self, tmp_path):
+        return RelationalDatabase(name="contract")
+
+
+class TestSqliteMemoryContract(AtomStoreContract):
+    def make_store(self, tmp_path):
+        return SqliteAtomStore(name="contract")
+
+
+class TestSqliteFileContract(AtomStoreContract):
+    def make_store(self, tmp_path):
+        return SqliteAtomStore(path=str(tmp_path / "contract.db"), name="contract")

@@ -65,7 +65,7 @@ class TestChaseCommand:
 
     def test_chase_strategy_and_backend_flags(self, join_rule_file, fact_file, capsys):
         for strategy in ("indexed", "naive"):
-            for backend in ("instance", "relational"):
+            for backend in ("instance", "relational", "sqlite"):
                 code = main(
                     [
                         "chase",
@@ -77,6 +77,42 @@ class TestChaseCommand:
                 )
                 assert code == 0
                 assert f"[{strategy}/{backend}]" in capsys.readouterr().out
+
+    def test_chase_sql_strategy_on_sqlite_backend(self, join_rule_file, fact_file, capsys):
+        code = main(
+            [
+                "chase",
+                "--rules", str(join_rule_file),
+                "--facts", str(fact_file),
+                "--strategy", "sql",
+                "--backend", "sqlite",
+            ]
+        )
+        assert code == 0
+        assert "[sql/sqlite]" in capsys.readouterr().out
+
+    def test_chase_persistent_sqlite_reports_store_stats(
+        self, join_rule_file, fact_file, tmp_path, capsys
+    ):
+        db_path = tmp_path / "chase.db"
+        code = main(
+            [
+                "chase",
+                "--rules", str(join_rule_file),
+                "--facts", str(fact_file),
+                "--backend", f"sqlite:{db_path}",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "store_atoms: " in output
+        assert f"store_file: {db_path} (" in output
+        assert db_path.exists() and db_path.stat().st_size > 0
+        # The transient backends stay quiet about store files.
+        assert main(
+            ["chase", "--rules", str(join_rule_file), "--facts", str(fact_file)]
+        ) == 0
+        assert "store_file" not in capsys.readouterr().out
 
     def test_chase_budget_stop(self, rule_file, fact_file, capsys):
         code = main(
@@ -152,9 +188,47 @@ class TestErrorPaths:
         assert fragment in stderr
 
     def test_unknown_backend(self, rule_file, capsys):
-        self._assert_argparse_rejects(
-            ["chase", "--rules", str(rule_file), "--backend", "oracle"], capsys, "oracle"
-        )
+        # --backend is free-form (it must admit sqlite:<path>), so the CLI
+        # validates it itself: exit 2 with a one-line message, no traceback.
+        assert main(["chase", "--rules", str(rule_file), "--backend", "oracle"]) == 2
+        stderr = capsys.readouterr().err
+        assert "oracle" in stderr and "sqlite" in stderr
+        assert "Traceback" not in stderr
+
+    def test_malformed_sqlite_spec(self, rule_file, capsys):
+        assert main(["chase", "--rules", str(rule_file), "--backend", "sqlite:"]) == 2
+        stderr = capsys.readouterr().err
+        assert "malformed sqlite backend spec" in stderr
+        assert "Traceback" not in stderr
+
+    def test_unopenable_sqlite_path(self, rule_file, tmp_path, capsys):
+        bogus = tmp_path / "missing" / "dir" / "chase.db"
+        assert main(
+            ["chase", "--rules", str(rule_file), "--backend", f"sqlite:{bogus}"]
+        ) == 2
+        assert "cannot open sqlite database" in capsys.readouterr().err
+
+    def test_sql_strategy_requires_sqlite_backend(self, rule_file, capsys):
+        assert main(["chase", "--rules", str(rule_file), "--strategy", "sql"]) == 2
+        assert "--backend sqlite" in capsys.readouterr().err
+
+    def test_reopened_file_with_conflicting_arity_exits_two(self, tmp_path, capsys):
+        # Reopening a persisted file with rules that recreate one of its
+        # predicates at a different arity: one-line exit 2, no traceback.
+        db_path = tmp_path / "resume.db"
+        two = tmp_path / "two.txt"
+        two.write_text("R(x,y) -> S(y,z)\n")
+        three = tmp_path / "three.txt"
+        three.write_text("R(x,y) -> S(x,y,z)\n")
+        facts = tmp_path / "facts.txt"
+        facts.write_text("R(a,b).\n")
+        base = ["chase", "--facts", str(facts), "--backend", f"sqlite:{db_path}"]
+        assert main(base + ["--rules", str(two)]) == 0
+        capsys.readouterr()
+        assert main(base + ["--rules", str(three)]) == 2
+        stderr = capsys.readouterr().err
+        assert "already exists with arity" in stderr
+        assert "Traceback" not in stderr
 
     def test_unknown_strategy(self, rule_file, capsys):
         self._assert_argparse_rejects(
@@ -283,6 +357,25 @@ class TestSweepCommand:
 
         base = ["sweep", "--preset", "smoke", "--kinds", "chase"]
         assert table(base) == table(base + ["--chase-workers", "3"])
+
+    def test_sweep_chase_backend_is_an_execution_knob(self, capsys, tmp_path):
+        # The sqlite backend changes where each task materialises, never the
+        # aggregate tables — and a checkpoint written under one backend
+        # resumes under another (the knob stays out of the fingerprint).
+        def table(argv):
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            return out[out.index("sweep[chase]"):].rsplit("sweep [", 1)[0]
+
+        base = ["sweep", "--preset", "smoke", "--kinds", "chase"]
+        reference = table(base)
+        assert table(base + ["--chase-backend", "sqlite"]) == reference
+
+        checkpoint = tmp_path / "sweep.jsonl"
+        assert main(base + ["--checkpoint", str(checkpoint), "--limit", "2"]) == 3
+        capsys.readouterr()
+        resumed = base + ["--checkpoint", str(checkpoint), "--chase-backend", "sqlite"]
+        assert table(resumed) == reference
 
 
 class TestListCommand:
