@@ -1,0 +1,223 @@
+"""Out-of-core gates: lazy results keep the fixpoint out of RAM, streaming
+keeps the seed out of the pipes.
+
+Two claims from the lazy-`ChaseResult` / partition-streaming PR, both
+measured rather than asserted by construction:
+
+* **peak RSS** — a ``--no-materialize`` chase against a persistent SQLite
+  file whose dominant relation only exists on disk must peak *well below*
+  the same run with eager materialization.  Each run happens in a child
+  interpreter (so ``ru_maxrss`` is per-run, not a process-lifetime
+  high-water mark) driving the real CLI;
+* **worker seed payload** — :func:`repro.chase.parallel.worker_seed_atoms`
+  must ship each process replica strictly less than the historical
+  ``pickle(sorted(store.iter_atoms()))`` payload on a linear workload (for
+  a persistent sqlite store the payload is zero by construction — workers
+  attach the coordinator's file read-only — which the conformance section
+  exercises end to end).
+
+Both measurements land in ``BENCH_out_of_core.json``.
+"""
+
+import os
+import pickle
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+from conftest import record_bench_json
+
+from tests.helpers import chase_result_fingerprint as _result_fingerprint
+
+from repro.chase.engine import chase, make_backend_store
+from repro.chase.parallel import parallel_chase, worker_seed_atoms
+from repro.core.atoms import Atom
+from repro.core.instances import Database
+from repro.core.parser import parse_rules
+from repro.core.predicates import Predicate
+from repro.core.terms import Constant
+from repro.storage.sqlbackend import SqliteAtomStore
+
+#: Rows of the disk-resident relation nothing in the rule set reads.  At
+#: ~48-char constants this decodes to well over 50 MB of Python objects,
+#: which is exactly the cost the lazy result must not pay.
+DISK_ROWS = 150_000
+
+#: The lazy run may peak at most this fraction of the eager run's RSS
+#: ("well below": measured ~0.2-0.3, the gate leaves CI headroom).
+MAX_LAZY_RSS_FRACTION = 0.7
+
+#: Per-worker streamed seed payload vs the full-store pickle on a linear
+#: workload with 4 workers (ideal: ~0.25 of the relevant relation).
+MAX_SEED_PAYLOAD_FRACTION = 0.5
+SEED_WORKERS = 4
+SEED_ROWS_PER_RELATION = 2_000
+
+_REPO = Path(__file__).resolve().parents[1]
+
+#: Child driver: run the CLI in-process and report the interpreter's own
+#: peak RSS (VmHWM) on the way out.  /proc VmHWM, not getrusage: Linux
+#: children inherit the forking parent's ru_maxrss high-water mark across
+#: exec, which would charge the pytest process's memory to every child.
+_CHILD = (
+    "import sys\n"
+    "from repro.cli import main\n"
+    "rc = main(sys.argv[1:])\n"
+    "with open('/proc/self/status') as status:\n"
+    "    for line in status:\n"
+    "        if line.startswith('VmHWM:'):\n"
+    "            print('PEAK_RSS_KB', line.split()[1])\n"
+    "sys.exit(rc)\n"
+)
+
+
+def _build_disk_store(path: str) -> int:
+    """Persist a store whose bulk is a relation the chase rules never read."""
+    big = Predicate("Big", 2)
+    store = SqliteAtomStore(path=path)
+
+    def rows():
+        for i in range(DISK_ROWS):
+            yield Atom(
+                big,
+                (
+                    Constant(f"left-{i:012d}-{'x' * 32}"),
+                    Constant(f"right-{i:012d}-{'y' * 32}"),
+                ),
+            )
+
+    store.add_atoms(rows())
+    store.flush()
+    size = store.file_size()
+    store.close()
+    return size
+
+
+def _run_child(cli_args) -> tuple:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, "-c", _CHILD, *cli_args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(_REPO),
+    )
+    assert completed.returncode == 0, completed.stderr
+    rss_kb = None
+    stats = []
+    for line in completed.stdout.splitlines():
+        if line.startswith("PEAK_RSS_KB "):
+            rss_kb = int(line.split()[1])
+        elif any(key in line for key in ("rounds:", "triggers_fired:", "atoms_created:", "instance_size:")):
+            stats.append(line.strip())
+    assert rss_kb is not None, completed.stdout
+    return rss_kb, stats
+
+
+def test_out_of_core_gates(tmp_path):
+    # ------------------------------------------------------------------ #
+    # Gate 1: --no-materialize peak RSS well below the materialized run.
+    db_path = str(tmp_path / "out_of_core.db")
+    file_bytes = _build_disk_store(db_path)
+
+    rules = tmp_path / "rules.txt"
+    rules.write_text("Small(x,y) -> SmallOut(y,z)\n")
+    facts = tmp_path / "facts.txt"
+    facts.write_text("".join(f"Small(s{i},t{i}).\n" for i in range(16)))
+
+    # Each child gets its own copy of the file: the chase persists its
+    # fixpoint, so sharing one file would let the second run resume an
+    # already-finished chase and skew the comparison.
+    lazy_db = str(tmp_path / "lazy.db")
+    eager_db = str(tmp_path / "eager.db")
+    shutil.copyfile(db_path, lazy_db)
+    shutil.copyfile(db_path, eager_db)
+
+    def base_args(path):
+        return [
+            "chase",
+            "--rules", str(rules),
+            "--facts", str(facts),
+            "--backend", f"sqlite:{path}",
+        ]
+
+    lazy_rss_kb, lazy_stats = _run_child(base_args(lazy_db) + ["--no-materialize"])
+    eager_rss_kb, eager_stats = _run_child(base_args(eager_db))
+    assert lazy_stats == eager_stats, "lazy and eager CLI stats diverged"
+    rss_fraction = lazy_rss_kb / eager_rss_kb
+
+    # ------------------------------------------------------------------ #
+    # Gate 2: streamed per-worker seed payload below the full-store pickle.
+    tgds = parse_rules("P0(x,y) -> Q0(y,z)\nP1(x,y) -> Q1(y,z)\nP2(x,y) -> Q2(y,z)\n")
+    database = Database()
+    for p in range(3):
+        predicate = Predicate(f"P{p}", 2)
+        for i in range(SEED_ROWS_PER_RELATION):
+            database.add(Atom(predicate, (Constant(f"a{p}_{i}"), Constant(f"b{p}_{i}"))))
+    store = make_backend_store("instance")
+    store.add_all(database.atoms())
+    full_store_pickle = len(pickle.dumps(sorted(store.iter_atoms())))
+    payloads = [
+        len(pickle.dumps(tuple(
+            worker_seed_atoms(store, tuple(tgds), "semi-oblivious", SEED_WORKERS, w)
+        )))
+        for w in range(SEED_WORKERS)
+    ]
+    payload_fraction = max(payloads) / full_store_pickle
+
+    # ------------------------------------------------------------------ #
+    # Conformance: both streaming paths still produce the serial result.
+    expected = _result_fingerprint(chase(database, tgds))
+    streamed = parallel_chase(
+        database, tgds, workers=SEED_WORKERS, executor="process"
+    )
+    assert _result_fingerprint(streamed) == expected, "streamed seeds != serial"
+
+    overlay_store = make_backend_store(f"sqlite:{tmp_path / 'overlay.db'}")
+    overlay = parallel_chase(
+        database, tgds, workers=2, store=overlay_store, executor="process",
+        materialize=False,
+    )
+    assert _result_fingerprint(overlay) == expected, "overlay workers != serial"
+    overlay_store.close()
+
+    artifact = record_bench_json(
+        "out_of_core",
+        {
+            "rss": {
+                "disk_rows": DISK_ROWS,
+                "store_file_bytes": file_bytes,
+                "lazy_rss_kb": lazy_rss_kb,
+                "eager_rss_kb": eager_rss_kb,
+                "lazy_fraction_of_eager": rss_fraction,
+                "max_lazy_rss_fraction": MAX_LAZY_RSS_FRACTION,
+            },
+            "seed_payload": {
+                "workers": SEED_WORKERS,
+                "rows_per_relation": SEED_ROWS_PER_RELATION,
+                "full_store_pickle_bytes": full_store_pickle,
+                "per_worker_payload_bytes": payloads,
+                "max_payload_fraction_of_full_pickle": payload_fraction,
+                "gate": MAX_SEED_PAYLOAD_FRACTION,
+                # Persistent sqlite replicas attach the coordinator's file
+                # read-only: nothing is pickled at all.
+                "persistent_sqlite_payload_bytes": 0,
+            },
+        },
+    )
+    print(
+        f"\nlazy rss: {lazy_rss_kb / 1024:.0f} MB  eager rss: {eager_rss_kb / 1024:.0f} MB  "
+        f"fraction: {rss_fraction:.2f}  |  seed payload: {max(payloads)} B "
+        f"vs full pickle {full_store_pickle} B ({payload_fraction:.2f})  "
+        f"(artifact: {artifact})"
+    )
+    assert rss_fraction <= MAX_LAZY_RSS_FRACTION, (
+        f"--no-materialize peaked at {lazy_rss_kb} KB vs eager {eager_rss_kb} KB "
+        f"({rss_fraction:.2f} > {MAX_LAZY_RSS_FRACTION})"
+    )
+    assert payload_fraction <= MAX_SEED_PAYLOAD_FRACTION, (
+        f"per-worker seed payload {max(payloads)} B is {payload_fraction:.2f} of "
+        f"the full-store pickle ({full_store_pickle} B)"
+    )

@@ -25,7 +25,11 @@ Orthogonally to the variant, every engine is parameterised by
   (``backend="sqlite[:path]"``, see :mod:`repro.storage.sqlbackend`).
 
 The engines run under a :class:`~repro.chase.result.ChaseLimits` budget and
-report whether a fixpoint was reached.
+report whether a fixpoint was reached.  They return a *lazy*
+:class:`~repro.chase.result.ChaseResult`: the result keeps the live store,
+and ``result.instance`` is only decoded into an in-memory ``Instance`` on
+first read — ``chase(..., materialize=False)`` (CLI ``--no-materialize``)
+returns without ever loading a store-backed fixpoint into RAM.
 """
 
 from __future__ import annotations
@@ -117,9 +121,13 @@ class ChaseEngine:
     def run(self, database: Database, tgds: TGDSet, store=None) -> ChaseResult:
         """Run the chase of *database* with *tgds* under the configured budget.
 
-        *store* is the :class:`~repro.storage.atom_store.AtomStore` the chase
-        materialises into; it defaults to a fresh in-memory
+        *store* is the :class:`~repro.storage.atom_store.AtomStore` the
+        chase writes into; it defaults to a fresh in-memory
         :class:`Instance`.  The store is seeded with the database facts.
+        The returned :class:`ChaseResult` keeps the live store and does
+        *not* decode it into an in-memory instance — that happens lazily on
+        the first ``result.instance`` read (``chase()`` does it eagerly
+        unless called with ``materialize=False``).
         """
         tgd_list = tuple(tgds)
         if store is None:
@@ -163,7 +171,6 @@ class ChaseEngine:
                         new_atoms.add(atom)
             if not new_atoms:
                 return ChaseResult(
-                    instance=self._materialize(store),
                     terminated=True,
                     rounds=rounds,
                     atoms_created=atoms_created,
@@ -187,13 +194,6 @@ class ChaseEngine:
                     store, rounds, atoms_created, triggers_fired, "max_atoms"
                 )
 
-    @staticmethod
-    def _materialize(store) -> Instance:
-        """Return the chase result as an :class:`Instance` (identity for instances)."""
-        if isinstance(store, Instance):
-            return store
-        return store.to_instance()
-
     def _stopped(self, store, rounds, atoms_created, triggers_fired, reason) -> ChaseResult:
         if self.on_limit == "raise":
             raise ChaseLimitExceeded(
@@ -202,7 +202,6 @@ class ChaseEngine:
                 rounds=rounds,
             )
         return ChaseResult(
-            instance=self._materialize(store),
             terminated=False,
             rounds=rounds,
             atoms_created=atoms_created,
@@ -306,6 +305,7 @@ def chase(
     store=None,
     workers: int = 1,
     executor: str = "auto",
+    materialize: bool = True,
 ) -> ChaseResult:
     """Run the chase of *database* with *tgds*.
 
@@ -324,8 +324,8 @@ def chase(
         to compile body joins to SQLite statements executed inside the
         sqlite backend.
     backend:
-        ``"instance"`` (default) materialises into an in-memory
-        :class:`Instance`; ``"relational"`` chases directly into a
+        ``"instance"`` (default) chases into an in-memory
+        :class:`Instance`; ``"relational"`` directly into a
         :class:`~repro.storage.database.RelationalDatabase`; ``"sqlite"``
         into a transient SQLite database and ``"sqlite:<path>"`` into a
         persistent file that can be reopened and resumed (the store is
@@ -341,6 +341,13 @@ def chase(
     executor:
         Worker backend for ``workers > 1``: ``"auto"``, ``"serial"``,
         ``"thread"``, or ``"process"`` (see :mod:`repro.chase.parallel`).
+    materialize:
+        ``True`` (default) eagerly builds ``result.instance`` before
+        returning — the historical behaviour.  ``False`` returns the lazy
+        result as-is: counts and ``result.view`` read through the store,
+        and ``result.instance`` only decodes the fixpoint into RAM if and
+        when it is actually touched.  For store-backed runs this is what
+        keeps larger-than-memory fixpoints out of the process.
     """
     engine_class = resolve_engine_class(variant)
     if workers != 1:
@@ -357,6 +364,7 @@ def chase(
             backend=backend,
             store=store,
             executor=executor,
+            materialize=materialize,
         )
     if store is None:
         store = make_backend_store(backend)
@@ -371,7 +379,7 @@ def chase(
             )
     engine = engine_class(limits=limits, on_limit=on_limit, strategy=strategy)
     try:
-        return engine.run(database, tgds, store=store)
+        result = engine.run(database, tgds, store=store)
     finally:
         # Persistent stores (sqlite) batch writes in one transaction; commit
         # even when the run raises (on_limit='raise'), or the interrupted
@@ -379,6 +387,9 @@ def chase(
         flush = getattr(store, "flush", None)
         if flush is not None:
             flush()
+    if materialize:
+        result.materialize()
+    return result
 
 
 def satisfies(instance: Instance, tgds: Iterable[TGD]) -> bool:

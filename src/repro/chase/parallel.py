@@ -14,16 +14,25 @@ near-optimal parallel binary joins) distributes probe work:
   at all: each worker scans its own partition of every seed relation
   through ``AtomStore.atoms_partition``;
 * **workers** — threads sharing the coordinator's store for the in-memory
-  :class:`~repro.core.instances.Instance` backend, processes holding full
+  :class:`~repro.core.instances.Instance` backend, processes holding
   per-worker store replicas for the
   :class:`~repro.storage.database.RelationalDatabase` and
   :class:`~repro.storage.sqlbackend.SqliteAtomStore` backends (replicas
   receive each round's merged delta and stay in lock-step with the
-  coordinator; sqlite replicas are private in-memory databases — a
-  connection never crosses a process boundary).  On GIL builds of CPython the thread pool cannot speed up
-  the pure-Python matching itself — it exists for protocol coverage and
-  for free-threaded/partially-native futures; force ``executor="process"``
-  (works for either backend) when real core-parallelism is wanted today;
+  coordinator; a SQLite connection never crosses a process boundary).
+  Process replicas are seeded *out-of-core*: a persistent SQLite store is
+  never pickled at all — each worker attaches the coordinator's file
+  read-only and overlays its private deltas in an in-memory
+  :class:`~repro.storage.sqlbackend.SqliteOverlayStore`; in-memory stores
+  stream their seed through the worker pipe in chunks, and each worker
+  receives only the relations the TGD set makes it responsible for
+  (:func:`worker_seed_atoms`): relations joined by multi-atom bodies in
+  full, single-atom-body relations only in the worker's own hash
+  partition, everything else not at all.  On GIL builds of CPython the
+  thread pool cannot speed up the pure-Python matching itself — it exists
+  for protocol coverage and for free-threaded/partially-native futures;
+  force ``executor="process"`` (works for any backend) when real
+  core-parallelism is wanted today;
 * **deterministic merge** — workers report the *firing keys* they
   considered and, per key, the trigger's result atoms.  Because firing
   keys, head atoms, and invented nulls are all functions of the key alone
@@ -252,6 +261,93 @@ class _ThreadPool:
         self._pool.shutdown(wait=False)
 
 
+# --------------------------------------------------------------------------- #
+# Out-of-core replica seeding
+
+
+def replica_seed_split(tgds: Sequence[TGD], variant: str):
+    """Split the TGDs' predicates by what a process replica needs of them.
+
+    Returns ``(full, partitioned)``:
+
+    * *full* — predicates whose relation every replica must hold entirely:
+      any predicate of a multi-atom body (the atom may be joined as a
+      non-seed slot, whose candidates are unconstrained by the partition
+      hash) and, under the restricted variant, any head predicate (the
+      head-satisfaction check probes them);
+    * *partitioned* — predicates that only ever seed single-atom bodies:
+      their ``JoinPlan.partition_positions`` is the empty tuple (hash the
+      whole atom), so worker ``w`` only ever scans its own hash partition
+      and needs no other rows.
+
+    Predicates in neither set are never read by replica-side matching and
+    are not shipped at all.
+    """
+    full = set()
+    partitioned = set()
+    for tgd in tgds:
+        if len(tgd.body) > 1:
+            full.update(atom.predicate for atom in tgd.body)
+        else:
+            partitioned.add(tgd.body[0].predicate)
+        if variant == "restricted":
+            full.update(atom.predicate for atom in tgd.head)
+    return full, partitioned - full
+
+
+def worker_seed_atoms(
+    store,
+    tgds: Sequence[TGD],
+    variant: str,
+    n_workers: int,
+    worker_id: int,
+    full_atoms: Optional[Sequence[Atom]] = None,
+) -> List[Atom]:
+    """The seed atoms one streaming process replica actually needs.
+
+    This is the out-of-core replacement for pickling
+    ``sorted(store.iter_atoms())`` into every worker: relations are shipped
+    per :func:`replica_seed_split`, so for a linear TGD set the workers'
+    seeds partition the store instead of replicating it ``n_workers``
+    times.  The result is sorted (grouped by predicate), which keeps
+    replica construction deterministic and lets the sqlite replica bulk
+    load each predicate as one ``executemany`` batch.
+
+    *full_atoms* optionally supplies the fully-replicated portion (the
+    per-worker-invariant scan of the *full* predicates), so a coordinator
+    seeding many workers collects it once instead of once per worker —
+    see :func:`collect_full_seed_atoms`.
+    """
+    full, partitioned = replica_seed_split(tgds, variant)
+    atoms: List[Atom] = (
+        list(full_atoms)
+        if full_atoms is not None
+        else collect_full_seed_atoms(store, full)
+    )
+    for predicate in partitioned:
+        atoms.extend(store.atoms_partition(predicate, (), n_workers, worker_id))
+    return sorted(atoms)
+
+
+def collect_full_seed_atoms(store, full_predicates) -> List[Atom]:
+    """Scan the fully-replicated relations once (shared by every worker)."""
+    atoms: List[Atom] = []
+    for predicate in full_predicates:
+        atoms.extend(store.atoms_with_predicate(predicate))
+    return atoms
+
+
+#: Atoms per ``("seed", chunk)`` message: bounds the size of any single
+#: pickled payload crossing a worker pipe (the full store is never shipped
+#: as one object).
+SEED_CHUNK_ATOMS = 4096
+
+
+def _seed_chunks(atoms: Sequence[Atom]):
+    for start in range(0, len(atoms), SEED_CHUNK_ATOMS):
+        yield tuple(atoms[start:start + SEED_CHUNK_ATOMS])
+
+
 #: A null that never occurs in any store: probing for it builds a
 #: predicate's position index without touching a real posting list.
 _INDEX_PROBE = Null("__index_probe__")
@@ -272,37 +368,65 @@ def _warm_position_indexes(store, tgds: Sequence[TGD]) -> None:
                 store.atoms_matching(atom.predicate, {0: _INDEX_PROBE})
 
 
-def _worker_main(conn, worker_id, n_workers, tgds, variant, backend, seed_atoms) -> None:
-    """Entry point of a process worker: build the replica, serve rounds."""
+def _open_replica_store(store_spec, worker_id: int):
+    """Build a worker's private store from its spec (never a live object)."""
+    kind = store_spec[0]
+    if kind == "relational":
+        from ..storage.database import RelationalDatabase
+
+        return RelationalDatabase(name=f"chase-replica-{worker_id}")
+    if kind == "sqlite":
+        # SQLite connections cannot cross process boundaries, so every
+        # replica is a private in-memory database rebuilt from the
+        # streamed seed (the coordinator alone owns its store).
+        from ..storage.sqlbackend import SqliteAtomStore
+
+        return SqliteAtomStore(name=f"chase-replica-{worker_id}")
+    if kind == "sqlite-file":
+        # Out-of-core seeding: attach the coordinator's persistent file
+        # read-only and overlay private deltas in memory — no seed atom
+        # ever crosses the pipe, and the disk-resident relations are read
+        # where they already live.
+        from ..storage.sqlbackend import SqliteOverlayStore
+
+        return SqliteOverlayStore(store_spec[1], name=f"chase-replica-{worker_id}")
+    return Instance()
+
+
+def _add_seed_atoms(store, atoms) -> None:
+    add_atoms = getattr(store, "add_atoms", None)
+    if add_atoms is not None:
+        # Chunks arrive sorted (grouped by predicate), so the sqlite
+        # replica loads each predicate as one executemany batch.
+        add_atoms(atoms)
+    else:
+        for atom in atoms:
+            store.add_atom(atom)
+
+
+def _worker_main(conn, worker_id, n_workers, tgds, variant, store_spec) -> None:
+    """Entry point of a process worker: build the replica, serve rounds.
+
+    The replica is seeded by ``("seed", chunk)`` messages (streamed by the
+    coordinator before the first round) — or not at all for the
+    ``sqlite-file`` spec, where the store reads the attached base file.
+    """
     try:
-        if backend == "relational":
-            from ..storage.database import RelationalDatabase
-
-            store = RelationalDatabase(name=f"chase-replica-{worker_id}")
-        elif backend == "sqlite":
-            # SQLite connections cannot cross process boundaries, so every
-            # replica is a private in-memory database rebuilt from the seed
-            # (the coordinator alone owns the persistent file, if any).
-            from ..storage.sqlbackend import SqliteAtomStore
-
-            store = SqliteAtomStore(name=f"chase-replica-{worker_id}")
-        else:
-            store = Instance()
-        add_atoms = getattr(store, "add_atoms", None)
-        if add_atoms is not None:
-            # seed_atoms arrives sorted (grouped by predicate), so the
-            # sqlite replica loads each predicate as one executemany batch.
-            add_atoms(seed_atoms)
-        else:
-            for atom in seed_atoms:
-                store.add_atom(atom)
-        worker = _MatchWorker(worker_id, n_workers, tgds, variant, store)
+        try:
+            store = _open_replica_store(store_spec, worker_id)
+            worker = _MatchWorker(worker_id, n_workers, tgds, variant, store)
+        except Exception:
+            conn.send(("error", traceback.format_exc()))
+            return
         while True:
             message = conn.recv()
             kind = message[0]
             if kind == "stop":
                 break
             try:
+                if kind == "seed":
+                    _add_seed_atoms(store, message[1])
+                    continue
                 if kind == "initial":
                     report = worker.initial_round()
                 else:  # "delta"
@@ -316,17 +440,21 @@ def _worker_main(conn, worker_id, n_workers, tgds, variant, backend, seed_atoms)
 
 
 class _ProcessPool:
-    """Process workers with per-worker store replicas (relational backend).
+    """Process workers with per-worker store replicas.
 
-    Each worker holds a private same-type store seeded with the database
-    and kept in lock-step by applying every round's merged delta, so the
-    coordinator ships *work*, never the instance.  Workers are dedicated
+    Each worker holds a private store kept in lock-step by applying every
+    round's merged delta, so the coordinator ships *work*, never the
+    instance.  Replicas are seeded out-of-core: *worker_seeds* (a callable
+    ``worker_id -> sorted atoms``) streams each worker only the relations
+    it needs, in bounded chunks over its pipe; ``None`` means the workers
+    seed themselves (the ``sqlite-file`` spec, whose replicas attach the
+    coordinator's persistent file read-only).  Workers are dedicated
     processes on private pipes — unlike a task pool, round ``i``'s message
     to worker ``w`` is guaranteed to be processed by the same replica that
     saw rounds ``< i``.
     """
 
-    def __init__(self, workers: int, tgds, variant, backend: str, seed_atoms):
+    def __init__(self, workers: int, tgds, variant, store_spec, worker_seeds=None):
         self.workers = workers
         context = multiprocessing.get_context()
         self._connections = []
@@ -342,8 +470,7 @@ class _ProcessPool:
                         workers,
                         tuple(tgds),
                         variant,
-                        backend,
-                        tuple(seed_atoms),
+                        store_spec,
                     ),
                     daemon=True,
                 )
@@ -351,6 +478,10 @@ class _ProcessPool:
                 child_conn.close()
                 self._connections.append(parent_conn)
                 self._processes.append(process)
+            if worker_seeds is not None:
+                for worker_id, connection in enumerate(self._connections):
+                    for chunk in _seed_chunks(worker_seeds(worker_id)):
+                        connection.send(("seed", chunk))
         except Exception:
             self.close()
             raise
@@ -447,16 +578,39 @@ class ParallelChaseExecutor:
             return _SerialPool(self.workers, tgds, self.variant, store)
         if executor == "thread":
             return _ThreadPool(self.workers, tgds, self.variant, store)
+        if isinstance(store, SqliteAtomStore) and store.is_persistent:
+            # Out-of-core seeding: commit the seed so workers attaching the
+            # file read-only see it, and ship no atoms at all — each replica
+            # is an overlay over the coordinator's own file.
+            store.flush()
+            return _ProcessPool(
+                self.workers, tgds, self.variant, ("sqlite-file", store.path)
+            )
         if isinstance(store, RelationalDatabase):
-            backend = "relational"
+            store_spec = ("relational",)
         elif isinstance(store, SqliteAtomStore):
-            backend = "sqlite"
+            store_spec = ("sqlite",)
         else:
-            backend = "instance"
-        # Only process replicas need the seed shipped; sorting makes the
-        # per-worker replica construction order deterministic.
-        seed_atoms = sorted(store.iter_atoms())
-        return _ProcessPool(self.workers, tgds, self.variant, backend, seed_atoms)
+            store_spec = ("instance",)
+
+        # The fully-replicated portion is identical for every worker:
+        # collect it once, not once per worker.
+        full, _ = replica_seed_split(tgds, self.variant)
+        full_atoms = collect_full_seed_atoms(store, full)
+
+        def worker_seeds(worker_id: int) -> List[Atom]:
+            # Partition-streamed seeding (see worker_seed_atoms): sorted, so
+            # per-worker replica construction order stays deterministic.
+            return worker_seed_atoms(
+                store,
+                tgds,
+                self.variant,
+                self.workers,
+                worker_id,
+                full_atoms=full_atoms,
+            )
+
+        return _ProcessPool(self.workers, tgds, self.variant, store_spec, worker_seeds)
 
     def _partition_work(
         self, table: _PlanTable, delta_atoms: Sequence[Atom]
@@ -524,7 +678,6 @@ class ParallelChaseExecutor:
 
                 if not new_atoms:
                     return ChaseResult(
-                        instance=ChaseEngine._materialize(store),
                         terminated=True,
                         rounds=rounds,
                         atoms_created=atoms_created,
@@ -556,7 +709,6 @@ class ParallelChaseExecutor:
                 rounds=rounds,
             )
         return ChaseResult(
-            instance=ChaseEngine._materialize(store),
             terminated=False,
             rounds=rounds,
             atoms_created=atoms_created,
@@ -577,6 +729,7 @@ def parallel_chase(
     backend: str = "instance",
     store=None,
     executor: str = "auto",
+    materialize: bool = True,
 ) -> ChaseResult:
     """Run the hash-partitioned parallel chase of *database* with *tgds*.
 
@@ -587,12 +740,15 @@ def parallel_chase(
         run through the same partition/merge machinery).
     executor:
         ``"auto"`` (default) picks threads for the in-memory backend and
-        processes with per-worker store replicas for the relational one;
-        ``"serial"`` / ``"thread"`` / ``"process"`` force a pool kind.
+        processes with per-worker store replicas for the relational and
+        sqlite ones; ``"serial"`` / ``"thread"`` / ``"process"`` force a
+        pool kind.  Process replicas of a persistent sqlite store attach
+        the coordinator's file read-only instead of receiving a seed.
 
-    The result is guaranteed identical — atoms, null names, round and
-    trigger counts — to the serial engine's, for every worker count and
-    executor kind.
+    ``materialize=False`` skips the eager ``result.instance`` build, like
+    :func:`~repro.chase.engine.chase`.  The result is guaranteed identical
+    — atoms, null names, round and trigger counts — to the serial
+    engine's, for every worker count and executor kind.
     """
     if strategy != "indexed":
         raise ValueError(
@@ -608,10 +764,13 @@ def parallel_chase(
         executor=executor,
     )
     try:
-        return coordinator.run(database, tgds, store=store)
+        result = coordinator.run(database, tgds, store=store)
     finally:
         # Commit even when the run raises, so an interrupted persistent
         # store keeps its prefix and stays resumable.
         flush = getattr(store, "flush", None)
         if flush is not None:
             flush()
+    if materialize:
+        result.materialize()
+    return result

@@ -26,6 +26,7 @@ Examples
     repro-experiments chase --rules rules.txt --facts data.txt --variant restricted
     repro-experiments chase --rules rules.txt --strategy naive --backend relational
     repro-experiments chase --rules rules.txt --backend sqlite:chase.db --strategy sql
+    repro-experiments chase --rules rules.txt --backend sqlite:chase.db --no-materialize
     repro-experiments chase --rules rules.txt --parallel 4
     repro-experiments chase --rules rules.txt --parallel 4 --backend relational --executor process
     repro-experiments run figure1 --preset smoke
@@ -115,7 +116,15 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=EXECUTORS,
         default="auto",
         help="worker pool kind for --parallel > 1: threads for the instance "
-        "backend, processes with store replicas for the relational one (default: auto)",
+        "backend, processes with store replicas for the relational and "
+        "sqlite ones (default: auto)",
+    )
+    chase_cmd.add_argument(
+        "--no-materialize",
+        action="store_true",
+        help="skip building the in-memory result instance; counts are "
+        "reported from the store, so a chase into a persistent sqlite file "
+        "never loads its fixpoint into RAM",
     )
 
     run = subparsers.add_parser("run", help="regenerate a figure, table, or ablation")
@@ -247,6 +256,7 @@ def _command_chase(args) -> int:
             store=store,
             workers=args.parallel,
             executor=args.executor,
+            materialize=not args.no_materialize,
         )
     except StorageError as error:
         # E.g. reopening a persisted file with rules that recreate one of
@@ -262,7 +272,10 @@ def _command_chase(args) -> int:
     print(f"  rounds: {result.rounds}")
     print(f"  triggers_fired: {result.triggers_fired}")
     print(f"  atoms_created: {result.atoms_created}")
-    print(f"  instance_size: {len(result.instance)}")
+    # size() reads the store's count: identical to len(result.instance) but
+    # safe under --no-materialize (the fixpoint stays on disk).
+    print(f"  instance_size: {result.size()}")
+    print(f"  materialized: {'yes' if result.is_materialized else 'no'}")
     if isinstance(store, SqliteAtomStore) and store.is_persistent:
         print(f"  store_atoms: {store.atom_count()}")
         print(f"  store_file: {store.path} ({store.file_size()} bytes)")

@@ -262,12 +262,15 @@ def _execute_chase_task(state: _WorkerState, task: SweepTask) -> List[Row]:
     # Each task builds (and discards) its own store, so pooled sweeps hold
     # one connection per worker process — SQLite connections never cross
     # process boundaries.
+    # materialize=False: the row only needs counts, which the lazy result
+    # reads straight from the store — no fixpoint is decoded into RAM.
     result = parallel_chase(
         database,
         rule_set.tgds,
         workers=state.chase_workers,
         limits=CHASE_TASK_LIMITS,
         backend=state.chase_backend,
+        materialize=False,
     )
     elapsed = time.perf_counter() - start
     return [
@@ -282,7 +285,7 @@ def _execute_chase_task(state: _WorkerState, task: SweepTask) -> List[Row]:
             "rounds": result.rounds,
             "atoms_created": result.atoms_created,
             "triggers_fired": result.triggers_fired,
-            "instance_size": len(result.instance),
+            "instance_size": result.size(),
             "chase_workers": state.chase_workers,
             "chase_backend": state.chase_backend,
             "t_chase": elapsed,

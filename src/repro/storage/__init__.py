@@ -1,6 +1,6 @@
 """Relational storage substrate: relations, catalog, prefix views, shape queries."""
 
-from .atom_store import AtomStore
+from .atom_store import AtomStore, InstanceView
 from .database import RelationalDatabase
 from .queries import (
     disequality_condition_pairs,
@@ -17,13 +17,20 @@ from .shape_finder import (
     ShapeFinderStats,
     find_shapes,
 )
-from .sqlbackend import SqlTriggerSource, SqliteAtomStore, SqliteShapeFinder
+from .sqlbackend import (
+    SqlTriggerSource,
+    SqliteAtomStore,
+    SqliteOverlayStore,
+    SqliteShapeFinder,
+)
 from .views import PrefixView
 
 __all__ = [
     "AtomStore",
+    "InstanceView",
     "SqlTriggerSource",
     "SqliteAtomStore",
+    "SqliteOverlayStore",
     "SqliteShapeFinder",
     "DeltaShapeFinder",
     "InDatabaseShapeFinder",

@@ -5,22 +5,40 @@ Historically the chase engines worked directly on
 the termination checkers used :class:`repro.storage.database.RelationalDatabase`
 — two disjoint stores with incompatible APIs.  ``AtomStore`` closes that
 split: it names the small set of operations the trigger engine
-(:mod:`repro.chase.matching`) needs, and both stores implement it, so a chase
-can run in memory or directly against the relational backend (and future
-backends only have to provide these eight methods).
+(:mod:`repro.chase.matching`) and the parallel executor's partitioned scans
+need, and every backend implements it, so a chase can run in memory,
+against the relational backend, or against a persistent SQLite file (and
+future backends only have to provide these nine methods).
 
 The protocol is *structural* (:class:`typing.Protocol`):
 ``core.Instance`` implements it without importing this module, which keeps
 the ``core`` → ``storage`` dependency direction intact.
+
+:class:`InstanceView` is the read-only companion: an instance-shaped
+adapter over any store, so consumers that historically demanded an
+``Instance`` (reporting, shape discovery, conformance checks) can read a
+chase result through the protocol without forcing
+:class:`~repro.core.instances.Instance` materialization — the access path
+behind ``ChaseResult.view`` and ``chase(..., materialize=False)``.
 """
 
 from __future__ import annotations
 
-from typing import Collection, Iterable, Iterator, Mapping, Optional, Protocol, runtime_checkable
+from typing import (
+    Collection,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
 
 from ..core.atoms import Atom
 from ..core.predicates import Predicate
-from ..core.terms import Term
+from ..core.terms import Constant, Null, Term
 
 
 @runtime_checkable
@@ -87,3 +105,118 @@ class AtomStore(Protocol):
     def predicates(self) -> Collection[Predicate]:
         """Return the predicates with at least one atom."""
         ...
+
+
+class InstanceView:
+    """A read-only, instance-shaped view over any :class:`AtomStore`.
+
+    Presents the query surface of :class:`~repro.core.instances.Instance`
+    (``len``, iteration, membership, ``atoms()``, ``nulls()`` …) while every
+    read goes straight through the store protocol — nothing is copied, so a
+    view over a disk-resident store stays as small as the store's own page
+    cache.  Mutation is refused: the view exists so downstream consumers
+    can *read* a chase result without forcing materialization.
+
+    Iteration is sorted (predicate, atom) like ``Instance.__iter__``, so
+    fingerprints computed over a view match those computed over the
+    materialised instance byte for byte.
+    """
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store):
+        self._store = store
+
+    @property
+    def store(self):
+        """The wrapped :class:`AtomStore`."""
+        return self._store
+
+    # -------------------------------------------------------------- #
+    # AtomStore read surface (plain delegation)
+
+    def has_atom(self, atom: Atom) -> bool:
+        return self._store.has_atom(atom)
+
+    def iter_atoms(self) -> Iterator[Atom]:
+        return self._store.iter_atoms()
+
+    def atom_count(self) -> int:
+        return self._store.atom_count()
+
+    def atoms_with_predicate(self, predicate: Predicate) -> Collection[Atom]:
+        return self._store.atoms_with_predicate(predicate)
+
+    def atoms_matching(
+        self, predicate: Predicate, bindings: Optional[Mapping[int, Term]] = None
+    ) -> Iterable[Atom]:
+        return self._store.atoms_matching(predicate, bindings)
+
+    def atoms_partition(
+        self,
+        predicate: Predicate,
+        key_positions: Tuple[int, ...],
+        n_partitions: int,
+        partition_index: int,
+    ) -> Iterable[Atom]:
+        return self._store.atoms_partition(
+            predicate, key_positions, n_partitions, partition_index
+        )
+
+    def predicate_cardinality(self, predicate: Predicate) -> int:
+        return self._store.predicate_cardinality(predicate)
+
+    def predicates(self) -> Collection[Predicate]:
+        return self._store.predicates()
+
+    # -------------------------------------------------------------- #
+    # Instance-shaped conveniences
+
+    def __len__(self) -> int:
+        return self._store.atom_count()
+
+    def __contains__(self, atom: Atom) -> bool:
+        return self._store.has_atom(atom)
+
+    def __iter__(self) -> Iterator[Atom]:
+        for predicate in sorted(self._store.predicates()):
+            yield from sorted(self._store.atoms_with_predicate(predicate))
+
+    def __repr__(self):
+        return f"InstanceView({self._store!r})"
+
+    def atoms(self) -> FrozenSet[Atom]:
+        """Return all atoms as a frozen set (one full scan)."""
+        return frozenset(self._store.iter_atoms())
+
+    def constants(self) -> FrozenSet[Constant]:
+        """Return the constants occurring in the store (streamed scan)."""
+        return frozenset(
+            term
+            for atom in self._store.iter_atoms()
+            for term in atom.terms
+            if not isinstance(term, Null)
+        )
+
+    def nulls(self) -> FrozenSet[Null]:
+        """Return the labeled nulls occurring in the store (streamed scan)."""
+        return frozenset(
+            term
+            for atom in self._store.iter_atoms()
+            for term in atom.terms
+            if isinstance(term, Null)
+        )
+
+    def domain(self) -> FrozenSet[Term]:
+        """Return the constants and nulls occurring in the store."""
+        return frozenset(
+            term for atom in self._store.iter_atoms() for term in atom.terms
+        )
+
+    # -------------------------------------------------------------- #
+    # Mutation is refused
+
+    def add_atom(self, atom: Atom) -> bool:
+        raise TypeError("InstanceView is read-only; mutate the underlying store")
+
+    add = add_atom

@@ -10,17 +10,23 @@ exactly as they run in memory:
   executed inside SQLite (``chase --strategy sql``);
 * :class:`SqliteShapeFinder` — the paper's in-database ``FindShapes``
   issuing real ``EXISTS`` queries instead of Python row scans.
+
+:class:`SqliteOverlayStore` is the out-of-core worker-side companion of
+:class:`SqliteAtomStore`: it attaches a persistent store file *read-only*
+and overlays private deltas in memory, which is how the parallel chase's
+process workers share a disk-resident seed without pickling it.
 """
 
 from .plans import CompiledBodyQuery, SqlTriggerSource
 from .shapes import SqliteShapeFinder, shape_query_sqlite
-from .store import MEMORY_PATH, SqliteAtomStore, table_name
+from .store import MEMORY_PATH, SqliteAtomStore, SqliteOverlayStore, table_name
 
 __all__ = [
     "CompiledBodyQuery",
     "MEMORY_PATH",
     "SqlTriggerSource",
     "SqliteAtomStore",
+    "SqliteOverlayStore",
     "SqliteShapeFinder",
     "shape_query_sqlite",
     "table_name",

@@ -41,11 +41,17 @@ Design notes
   than decoding every atom in Python first.
 
 Connection lifecycle: one connection per store, created with
-``check_same_thread=False``.  The ``sqlite3`` module serializes access, so
-the thread pool of the parallel chase may share a store; process pools never
-share — each worker opens its own in-memory replica (connections are not
-picklable, which is exactly why the parallel executor ships *work*, never
-stores).
+``check_same_thread=False``.  A store-level ``RLock`` keeps one thread
+inside SQLite at a time — the ``sqlite3`` module's own serialization is
+not deadlock-safe once the Python ``repro_partition`` function is
+registered (the UDF callback needs the GIL while SQLite holds the
+connection mutex; another thread holding the GIL can enter SQLite's
+statement-finalize paths and block on that mutex).  With the lock, the
+thread pool of the parallel chase may share a store; process pools never
+share — each worker opens its own replica (an in-memory rebuild from the
+streamed seed, or a :class:`SqliteOverlayStore` attaching a persistent
+file read-only), because connections are not picklable — which is exactly
+why the parallel executor ships *work*, never stores.
 """
 
 from __future__ import annotations
@@ -54,6 +60,7 @@ import os
 import sqlite3
 import threading
 from typing import Collection, Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+from urllib.parse import quote
 
 from ...core.atoms import Atom
 from ...core.indexing import partition_hash
@@ -117,14 +124,18 @@ class SqliteAtomStore:
         watermark, so a chase can resume from persisted atoms.
     name:
         Cosmetic store name used in ``repr``.
+    uri:
+        Enable SQLite URI filename interpretation on the connection.  Not
+        needed for plain paths; :class:`SqliteOverlayStore` uses it so its
+        read-only ``ATTACH 'file:…?mode=ro'`` is honoured.
     """
 
-    def __init__(self, path: str = MEMORY_PATH, name: str = "sqlite"):
+    def __init__(self, path: str = MEMORY_PATH, name: str = "sqlite", uri: bool = False):
         self.name = name
         self.path = path
         try:
             self._connection = sqlite3.connect(
-                path, check_same_thread=False, isolation_level=None
+                path, check_same_thread=False, isolation_level=None, uri=uri
             )
         except sqlite3.Error as error:
             raise StorageError(
@@ -132,11 +143,16 @@ class SqliteAtomStore:
             ) from None
         self._closed = False
         self._in_transaction = False
-        # Guards the check-then-BEGIN/commit pair: sqlite3 releases the GIL
-        # inside execute(), so two parallel-chase worker threads taking
-        # their first lazy-index write concurrently could otherwise both
-        # issue BEGIN.
-        self._transaction_lock = threading.Lock()
+        # One thread inside SQLite at a time.  The sqlite3 module's own
+        # serialization is NOT enough once a Python-defined SQL function is
+        # registered: a thread executing `repro_partition` holds the
+        # connection mutex and needs the GIL for the callback, while another
+        # thread holding the GIL can enter SQLite C code (statement
+        # finalize/reset paths run without releasing the GIL) and block on
+        # that same mutex — a lock-order inversion that intermittently
+        # deadlocked parallel-chase thread pools sharing one store.  The
+        # RLock also guards the check-then-BEGIN/commit pair.
+        self._connection_lock = threading.RLock()
         self._connection.create_function(
             "repro_partition", -1, _partition_udf, deterministic=True
         )
@@ -183,28 +199,29 @@ class SqliteAtomStore:
         return self._connection
 
     def _load_catalog(self) -> None:
-        rows = self._connection.execute(
-            f"SELECT name, arity FROM {CATALOG_TABLE} ORDER BY name"
-        ).fetchall()
-        for predicate_name, arity in rows:
-            predicate = Predicate(predicate_name, arity)
-            self._predicates[predicate_name] = predicate
-            table = _quote(table_name(predicate_name))
-            count, top = self._connection.execute(
-                f"SELECT COUNT(*), COALESCE(MAX(seq), 0) FROM {table}"
-            ).fetchone()
-            self._counts[predicate_name] = count
-            self._seq = max(self._seq, top)
+        with self._connection_lock:
+            rows = self._connection.execute(
+                f"SELECT name, arity FROM {CATALOG_TABLE} ORDER BY name"
+            ).fetchall()
+            for predicate_name, arity in rows:
+                predicate = Predicate(predicate_name, arity)
+                self._predicates[predicate_name] = predicate
+                table = _quote(table_name(predicate_name))
+                count, top = self._connection.execute(
+                    f"SELECT COUNT(*), COALESCE(MAX(seq), 0) FROM {table}"
+                ).fetchone()
+                self._counts[predicate_name] = count
+                self._seq = max(self._seq, top)
 
     def _begin(self) -> None:
-        with self._transaction_lock:
+        with self._connection_lock:
             if not self._in_transaction:
                 self._connection.execute("BEGIN")
                 self._in_transaction = True
 
     def flush(self) -> None:
         """Commit the open write transaction (durability point for files)."""
-        with self._transaction_lock:
+        with self._connection_lock:
             if self._in_transaction:
                 self._connection.commit()
                 self._in_transaction = False
@@ -236,7 +253,8 @@ class SqliteAtomStore:
         if not self.is_persistent:
             return 0
         self.flush()
-        self._connection.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        with self._connection_lock:
+            self._connection.execute("PRAGMA wal_checkpoint(TRUNCATE)")
         return os.path.getsize(self.path) if os.path.exists(self.path) else 0
 
     def current_seq(self) -> int:
@@ -268,25 +286,27 @@ class SqliteAtomStore:
         columns = self._columns(predicate.arity)
         column_ddl = ", ".join(f"{column} TEXT NOT NULL" for column in columns)
         unique = ", ".join(columns)
-        self._begin()
         table = table_name(predicate.name)
-        self._connection.execute(
-            f"CREATE TABLE IF NOT EXISTS {_quote(table)} "
-            f"({column_ddl}, seq INTEGER NOT NULL, UNIQUE({unique}))"
-        )
-        # The semi-naive delta queries constrain the seed slot with
-        # `seq > :delta_start`; without this index every delta round would
-        # rescan the whole seed table instead of just the delta suffix.
-        self._connection.execute(
-            f"CREATE INDEX IF NOT EXISTS {_quote(f'idx_{table}_seq')} "
-            f"ON {_quote(table)} (seq)"
-        )
-        self._connection.execute(
-            f"INSERT OR IGNORE INTO {CATALOG_TABLE} (name, arity) VALUES (?, ?)",
-            (predicate.name, predicate.arity),
-        )
-        self._predicates[predicate.name] = predicate
-        self._counts[predicate.name] = 0
+        with self._connection_lock:
+            self._begin()
+            self._connection.execute(
+                f"CREATE TABLE IF NOT EXISTS {_quote(table)} "
+                f"({column_ddl}, seq INTEGER NOT NULL, UNIQUE({unique}))"
+            )
+            # The semi-naive delta queries constrain the seed slot with
+            # `seq > :delta_start`; without this index every delta round
+            # would rescan the whole seed table instead of just the delta
+            # suffix.
+            self._connection.execute(
+                f"CREATE INDEX IF NOT EXISTS {_quote(f'idx_{table}_seq')} "
+                f"ON {_quote(table)} (seq)"
+            )
+            self._connection.execute(
+                f"INSERT OR IGNORE INTO {CATALOG_TABLE} (name, arity) VALUES (?, ?)",
+                (predicate.name, predicate.arity),
+            )
+            self._predicates[predicate.name] = predicate
+            self._counts[predicate.name] = 0
 
     def _table_for(self, predicate: Predicate) -> Optional[str]:
         """Return the quoted table name when *predicate* matches the catalog."""
@@ -313,11 +333,12 @@ class SqliteAtomStore:
         # namespace is case-insensitive too.
         index = _quote(f"idx_{table_name(predicate.name)}_p{position}")
         table = _quote(table_name(predicate.name))
-        self._begin()
-        self._connection.execute(
-            f"CREATE INDEX IF NOT EXISTS {index} ON {table} (c{position})"
-        )
-        self._indexed.add((predicate.name, position))
+        with self._connection_lock:
+            self._begin()
+            self._connection.execute(
+                f"CREATE INDEX IF NOT EXISTS {index} ON {table} (c{position})"
+            )
+            self._indexed.add((predicate.name, position))
 
     # ------------------------------------------------------------------ #
     # Row encoding
@@ -345,17 +366,18 @@ class SqliteAtomStore:
         table = _quote(table_name(atom.predicate.name))
         columns = self._columns(atom.predicate.arity)
         placeholders = ", ".join("?" for _ in columns)
-        self._begin()
-        cursor = self._connection.execute(
-            f"INSERT OR IGNORE INTO {table} ({', '.join(columns)}, seq) "
-            f"VALUES ({placeholders}, ?)",
-            self._encode(atom) + (self._seq + 1,),
-        )
-        if cursor.rowcount != 1:
-            return False
-        self._seq += 1
-        self._counts[atom.predicate.name] += 1
-        return True
+        with self._connection_lock:
+            self._begin()
+            cursor = self._connection.execute(
+                f"INSERT OR IGNORE INTO {table} ({', '.join(columns)}, seq) "
+                f"VALUES ({placeholders}, ?)",
+                self._encode(atom) + (self._seq + 1,),
+            )
+            if cursor.rowcount != 1:
+                return False
+            self._seq += 1
+            self._counts[atom.predicate.name] += 1
+            return True
 
     def add_atoms(self, atoms: Iterable[Atom]) -> int:
         """Bulk-insert *atoms* (batched per predicate); return how many were new.
@@ -389,17 +411,20 @@ class SqliteAtomStore:
             batch = []
             return inserted
 
-        self._begin()
-        for atom in atoms:
-            if not atom.is_ground():
-                raise ValidationError(f"stores hold ground atoms only, got {atom!r}")
-            if batch_predicate is None or atom.predicate != batch_predicate:
-                added += flush_batch()
-                batch_predicate = atom.predicate
-                self.create_relation(atom.predicate)
-            self._seq += 1
-            batch.append(self._encode(atom) + (self._seq,))
-        added += flush_batch()
+        with self._connection_lock:
+            self._begin()
+            for atom in atoms:
+                if not atom.is_ground():
+                    raise ValidationError(
+                        f"stores hold ground atoms only, got {atom!r}"
+                    )
+                if batch_predicate is None or atom.predicate != batch_predicate:
+                    added += flush_batch()
+                    batch_predicate = atom.predicate
+                    self.create_relation(atom.predicate)
+                self._seq += 1
+                batch.append(self._encode(atom) + (self._seq,))
+            added += flush_batch()
         return added
 
     def load_database(self, database: Database) -> int:
@@ -416,9 +441,10 @@ class SqliteAtomStore:
             return False
         columns = self._columns(atom.predicate.arity)
         where = " AND ".join(f"{column} = ?" for column in columns)
-        row = self._connection.execute(
-            f"SELECT 1 FROM {table} WHERE {where} LIMIT 1", self._encode(atom)
-        ).fetchone()
+        with self._connection_lock:
+            row = self._connection.execute(
+                f"SELECT 1 FROM {table} WHERE {where} LIMIT 1", self._encode(atom)
+            ).fetchone()
         return row is not None
 
     def iter_atoms(self) -> Iterator[Atom]:
@@ -437,9 +463,10 @@ class SqliteAtomStore:
         if table is None:
             return ()
         columns = self._columns(predicate.arity)
-        rows = self._connection.execute(
-            f"SELECT {', '.join(columns)} FROM {table}"
-        ).fetchall()
+        with self._connection_lock:
+            rows = self._connection.execute(
+                f"SELECT {', '.join(columns)} FROM {table}"
+            ).fetchall()
         return [self._decode(predicate, row) for row in rows]
 
     def atoms_matching(
@@ -467,10 +494,12 @@ class SqliteAtomStore:
             self._ensure_position_index(predicate, position)
             conditions.append(f"c{position} = ?")
             parameters.append(encode_term(bindings[position]))
-        rows = self._connection.execute(
-            f"SELECT {', '.join(columns)} FROM {table} WHERE {' AND '.join(conditions)}",
-            parameters,
-        ).fetchall()
+        with self._connection_lock:
+            rows = self._connection.execute(
+                f"SELECT {', '.join(columns)} FROM {table} "
+                f"WHERE {' AND '.join(conditions)}",
+                parameters,
+            ).fetchall()
         return [self._decode(predicate, row) for row in rows]
 
     def atoms_partition(
@@ -491,9 +520,10 @@ class SqliteAtomStore:
             return
         columns = self._columns(predicate.arity)
         if n_partitions <= 1:
-            rows = self._connection.execute(
-                f"SELECT {', '.join(columns)} FROM {table}"
-            ).fetchall()
+            with self._connection_lock:
+                rows = self._connection.execute(
+                    f"SELECT {', '.join(columns)} FROM {table}"
+                ).fetchall()
         else:
             if key_positions:
                 key_columns = ", ".join(f"c{position}" for position in key_positions)
@@ -502,11 +532,12 @@ class SqliteAtomStore:
             else:
                 key_columns = ", ".join(columns)
             hash_args = f"?, {key_columns}" if key_columns else "?"
-            rows = self._connection.execute(
-                f"SELECT {', '.join(columns)} FROM {table} "
-                f"WHERE repro_partition({hash_args}) = ?",
-                (n_partitions, partition_index),
-            ).fetchall()
+            with self._connection_lock:
+                rows = self._connection.execute(
+                    f"SELECT {', '.join(columns)} FROM {table} "
+                    f"WHERE repro_partition({hash_args}) = ?",
+                    (n_partitions, partition_index),
+                ).fetchall()
         for row in rows:
             yield self._decode(predicate, row)
 
@@ -543,3 +574,266 @@ class SqliteAtomStore:
         store = cls(path=path, name=name)
         store.load_database(database)
         return store
+
+
+class SqliteOverlayStore(SqliteAtomStore):
+    """A read-only attached base file with a private in-memory delta overlay.
+
+    The parallel chase's process workers used to be seeded by pickling the
+    coordinator's whole store into every replica.  For a *persistent*
+    :class:`SqliteAtomStore` that is both slow and RAM-bound; this store is
+    the out-of-core replacement: the worker ``ATTACH``-es the coordinator's
+    file **read-only** (``file:<path>?mode=ro``) as schema ``base`` and
+    keeps its private deltas in the in-memory ``main`` schema.  Reads union
+    the two sides; writes only ever touch ``main`` — the base file cannot
+    be modified through this store by construction.
+
+    **Snapshot isolation.**  At open time the store records the base file's
+    sequence watermark, and every base-side read carries ``seq <=
+    snapshot``.  The coordinator keeps committing merged rounds to the same
+    file while workers run (WAL allows the concurrent reader), but those
+    later rows are invisible here: the overlay sees exactly the seed
+    snapshot plus whatever the worker added itself — the same contents a
+    pickled replica would hold, which is what keeps the parallel merge
+    byte-identical to the serial chase.
+
+    Position indexes are created on the ``main`` delta tables only (the
+    base is read-only); base-side lookups lean on the indexes persisted in
+    the file — the ``UNIQUE`` value index covers position 0.
+    """
+
+    def __init__(self, base_path: str, name: str = "sqlite-overlay"):
+        super().__init__(path=MEMORY_PATH, name=name, uri=True)
+        self.base_path = base_path
+        #: Predicates whose relation exists in the attached base file.
+        self._base_predicates: Dict[str, Predicate] = {}
+        #: Predicates with a delta table created in the in-memory schema.
+        self._main_relations: Set[str] = set()
+        self._base_snapshot_seq = 0
+        try:
+            # Percent-encode the path before embedding it in the URI: a
+            # literal '#', '?', or '%' would otherwise be parsed as URI
+            # structure and attach the wrong file.
+            self._connection.execute(
+                "ATTACH DATABASE ? AS base", (f"file:{quote(base_path)}?mode=ro",)
+            )
+            rows = self._connection.execute(
+                f"SELECT name, arity FROM base.{CATALOG_TABLE} ORDER BY name"
+            ).fetchall()
+            for predicate_name, arity in rows:
+                predicate = Predicate(predicate_name, arity)
+                self._base_predicates[predicate_name] = predicate
+                self._predicates[predicate_name] = predicate
+                table = f"base.{_quote(table_name(predicate_name))}"
+                count, top = self._connection.execute(
+                    f"SELECT COUNT(*), COALESCE(MAX(seq), 0) FROM {table}"
+                ).fetchone()
+                self._counts[predicate_name] = count
+                self._base_snapshot_seq = max(self._base_snapshot_seq, top)
+        except sqlite3.Error as error:
+            self._connection.close()
+            self._closed = True
+            raise StorageError(
+                f"cannot attach base sqlite database at {base_path!r}: {error}"
+            ) from None
+        self._seq = max(self._seq, self._base_snapshot_seq)
+
+    def __repr__(self):
+        return (
+            f"SqliteOverlayStore({self.name!r}, base={self.base_path}, "
+            f"{self.atom_count()} atoms)"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Schema management (writes go to main only)
+
+    def create_relation(self, predicate: Predicate) -> None:
+        """Create (or validate) the in-memory delta table for *predicate*."""
+        existing = self._predicates.get(predicate.name)
+        if existing is not None and existing.arity != predicate.arity:
+            raise StorageError(
+                f"relation {predicate.name!r} already exists with arity "
+                f"{existing.arity}, cannot recreate with arity {predicate.arity}"
+            )
+        if predicate.name in self._main_relations:
+            return
+        columns = self._columns(predicate.arity)
+        column_ddl = ", ".join(f"{column} TEXT NOT NULL" for column in columns)
+        unique = ", ".join(columns)
+        table = table_name(predicate.name)
+        with self._connection_lock:
+            self._begin()
+            self._connection.execute(
+                f"CREATE TABLE IF NOT EXISTS main.{_quote(table)} "
+                f"({column_ddl}, seq INTEGER NOT NULL, UNIQUE({unique}))"
+            )
+            self._connection.execute(
+                f"CREATE INDEX IF NOT EXISTS main.{_quote(f'idx_{table}_seq')} "
+                f"ON {_quote(table)} (seq)"
+            )
+            self._connection.execute(
+                f"INSERT OR IGNORE INTO main.{CATALOG_TABLE} (name, arity) "
+                "VALUES (?, ?)",
+                (predicate.name, predicate.arity),
+            )
+            self._predicates[predicate.name] = predicate
+            self._counts.setdefault(predicate.name, 0)
+            self._main_relations.add(predicate.name)
+
+    def _ensure_position_index(self, predicate: Predicate, position: int) -> None:
+        # Only the main-side delta table can be indexed; the base file keeps
+        # whatever indexes were persisted into it.  Not marking the pair in
+        # ``_indexed`` when the delta table does not exist yet means the
+        # index is created as soon as a delta over the predicate appears.
+        if predicate.name not in self._main_relations:
+            return
+        if position == 0 or (predicate.name, position) in self._indexed:
+            return
+        table = table_name(predicate.name)
+        index = _quote(f"idx_{table}_p{position}")
+        with self._connection_lock:
+            self._begin()
+            self._connection.execute(
+                f"CREATE INDEX IF NOT EXISTS main.{index} "
+                f"ON {_quote(table)} (c{position})"
+            )
+            self._indexed.add((predicate.name, position))
+
+    # ------------------------------------------------------------------ #
+    # Read targets: the base snapshot plus the main delta
+
+    def _read_targets(self, predicate: Predicate):
+        """Yield ``(table, extra_where, extra_params)`` covering both sides."""
+        existing = self._predicates.get(predicate.name)
+        if existing is None or existing.arity != predicate.arity:
+            return
+        table = _quote(table_name(predicate.name))
+        if predicate.name in self._base_predicates:
+            yield f"base.{table}", "seq <= ?", (self._base_snapshot_seq,)
+        if predicate.name in self._main_relations:
+            yield f"main.{table}", "", ()
+
+    def _base_has(self, atom: Atom) -> bool:
+        if atom.predicate.name not in self._base_predicates:
+            return False
+        existing = self._base_predicates[atom.predicate.name]
+        if existing.arity != atom.predicate.arity:
+            return False
+        table = f"base.{_quote(table_name(atom.predicate.name))}"
+        columns = self._columns(atom.predicate.arity)
+        where = " AND ".join(f"{column} = ?" for column in columns)
+        with self._connection_lock:
+            row = self._connection.execute(
+                f"SELECT 1 FROM {table} WHERE {where} AND seq <= ? LIMIT 1",
+                self._encode(atom) + (self._base_snapshot_seq,),
+            ).fetchone()
+        return row is not None
+
+    # ------------------------------------------------------------------ #
+    # AtomStore protocol: mutation (deduplicated against the base snapshot)
+
+    def add_atom(self, atom: Atom) -> bool:
+        if not atom.is_ground():
+            raise ValidationError(f"stores hold ground atoms only, got {atom!r}")
+        if self._base_has(atom):
+            return False
+        return super().add_atom(atom)
+
+    def add_atoms(self, atoms: Iterable[Atom]) -> int:
+        return super().add_atoms(
+            atom
+            for atom in atoms
+            if not (atom.is_ground() and self._base_has(atom))
+        )
+
+    # ------------------------------------------------------------------ #
+    # AtomStore protocol: queries (union of both sides)
+
+    def has_atom(self, atom: Atom) -> bool:
+        columns = self._columns(atom.predicate.arity)
+        values = self._encode(atom)
+        for table, extra, params in self._read_targets(atom.predicate):
+            where = " AND ".join(f"{column} = ?" for column in columns)
+            if extra:
+                where = f"{where} AND {extra}"
+            with self._connection_lock:
+                row = self._connection.execute(
+                    f"SELECT 1 FROM {table} WHERE {where} LIMIT 1", values + params
+                ).fetchone()
+            if row is not None:
+                return True
+        return False
+
+    def atoms_with_predicate(self, predicate: Predicate) -> Collection[Atom]:
+        columns = ", ".join(self._columns(predicate.arity))
+        atoms: List[Atom] = []
+        for table, extra, params in self._read_targets(predicate):
+            sql = f"SELECT {columns} FROM {table}"
+            if extra:
+                sql = f"{sql} WHERE {extra}"
+            with self._connection_lock:
+                rows = self._connection.execute(sql, params).fetchall()
+            atoms.extend(self._decode(predicate, row) for row in rows)
+        return atoms
+
+    def atoms_matching(
+        self, predicate: Predicate, bindings: Optional[Mapping[int, Term]] = None
+    ) -> Iterable[Atom]:
+        if not bindings:
+            return self.atoms_with_predicate(predicate)
+        conditions = []
+        parameters: List[str] = []
+        for position in sorted(bindings):
+            if not 0 <= position < predicate.arity:
+                return ()
+            self._ensure_position_index(predicate, position)
+            conditions.append(f"c{position} = ?")
+            parameters.append(encode_term(bindings[position]))
+        columns = ", ".join(self._columns(predicate.arity))
+        atoms: List[Atom] = []
+        for table, extra, params in self._read_targets(predicate):
+            where = " AND ".join(conditions)
+            if extra:
+                where = f"{where} AND {extra}"
+            with self._connection_lock:
+                rows = self._connection.execute(
+                    f"SELECT {columns} FROM {table} WHERE {where}",
+                    tuple(parameters) + params,
+                ).fetchall()
+            atoms.extend(self._decode(predicate, row) for row in rows)
+        return atoms
+
+    def atoms_partition(
+        self,
+        predicate: Predicate,
+        key_positions: Tuple[int, ...],
+        n_partitions: int,
+        partition_index: int,
+    ) -> Iterator[Atom]:
+        column_names = self._columns(predicate.arity)
+        columns = ", ".join(column_names)
+        if key_positions:
+            key_columns = ", ".join(f"c{position}" for position in key_positions)
+        elif predicate.arity == 0:
+            key_columns = ""  # hash of the empty tuple
+        else:
+            key_columns = ", ".join(column_names)
+        hash_args = f"?, {key_columns}" if key_columns else "?"
+        for table, extra, params in self._read_targets(predicate):
+            if n_partitions <= 1:
+                sql = f"SELECT {columns} FROM {table}"
+                if extra:
+                    sql = f"{sql} WHERE {extra}"
+                with self._connection_lock:
+                    rows = self._connection.execute(sql, params).fetchall()
+            else:
+                where = f"repro_partition({hash_args}) = ?"
+                if extra:
+                    where = f"{where} AND {extra}"
+                with self._connection_lock:
+                    rows = self._connection.execute(
+                        f"SELECT {columns} FROM {table} WHERE {where}",
+                        (n_partitions, partition_index) + params,
+                    ).fetchall()
+            for row in rows:
+                yield self._decode(predicate, row)

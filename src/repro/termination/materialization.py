@@ -61,20 +61,20 @@ def is_chase_finite_materialization(
         return MaterializationReport(
             finite=True,
             conclusive=True,
-            atoms_materialized=len(result.instance),
+            atoms_materialized=result.size(),
             bound=bound.value,
             bound_saturated=bound.saturated,
             elapsed_seconds=elapsed,
         )
 
     exceeded_theoretical_bound = (
-        len(result.instance) > bound.value and bound.usable_threshold()
+        result.size() > bound.value and bound.usable_threshold()
     )
     if exceeded_theoretical_bound:
         return MaterializationReport(
             finite=False,
             conclusive=True,
-            atoms_materialized=len(result.instance),
+            atoms_materialized=result.size(),
             bound=bound.value,
             bound_saturated=bound.saturated,
             elapsed_seconds=elapsed,
@@ -82,7 +82,7 @@ def is_chase_finite_materialization(
     return MaterializationReport(
         finite=None,
         conclusive=False,
-        atoms_materialized=len(result.instance),
+        atoms_materialized=result.size(),
         bound=bound.value,
         bound_saturated=bound.saturated,
         elapsed_seconds=elapsed,

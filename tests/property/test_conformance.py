@@ -10,6 +10,8 @@ Three families of properties, all over random programs from
 * **backend conformance** — the relational and sqlite stores chase to the
   same result as the in-memory instance, serial and parallel, and the
   pushed-down ``"sql"`` trigger strategy agrees with the in-memory engines;
+  lazy results (``materialize=False``) stay byte-identical to eager ones,
+  both read through the store view and after on-demand materialization;
 * **oracle conformance** — on inputs where the materialization baseline is
   conclusive, ``IsChaseFinite[L]`` returns the same verdict.
 
@@ -41,6 +43,19 @@ from tests.property.strategies import (
 LIMITS = ChaseLimits(max_atoms=300, max_rounds=10)
 
 VARIANTS = ("oblivious", "semi-oblivious", "restricted")
+
+
+def assert_lazy_matches(lazy, expected_fingerprint, label):
+    """A ``materialize=False`` result must match the eager fingerprint both
+    through the store view (before materialization) and on demand."""
+    assert not lazy.is_materialized, f"{label}: materialize=False materialized eagerly"
+    assert lazy.size() == len(expected_fingerprint[-1]), f"{label}: lazy size"
+    assert tuple(sorted(str(atom) for atom in lazy.view)) == expected_fingerprint[-1], (
+        f"{label}: lazy view != eager instance"
+    )
+    assert fingerprint(lazy) == expected_fingerprint, (
+        f"{label}: materialized-on-demand != eager"
+    )
 
 
 class TestEngineConformance:
@@ -89,6 +104,16 @@ class TestEngineConformance:
         assert fingerprint(serial) == expected, "relational serial != instance"
         assert serial.store.atom_count() == len(serial.instance)
 
+        lazy = chase(
+            database,
+            tgds,
+            variant=variant,
+            limits=LIMITS,
+            backend="relational",
+            materialize=False,
+        )
+        assert_lazy_matches(lazy, expected, "relational lazy")
+
         parallel = parallel_chase(
             database,
             tgds,
@@ -114,6 +139,16 @@ class TestEngineConformance:
         assert fingerprint(serial) == expected, "sqlite serial != instance"
         assert serial.store.atom_count() == len(serial.instance)
 
+        lazy = chase(
+            database,
+            tgds,
+            variant=variant,
+            limits=LIMITS,
+            backend="sqlite",
+            materialize=False,
+        )
+        assert_lazy_matches(lazy, expected, "sqlite lazy")
+
         # The pushed-down SQL join strategy: body matching runs inside
         # SQLite, yet the ChaseResult must stay byte-identical.
         pushed = chase(
@@ -127,6 +162,8 @@ class TestEngineConformance:
         assert fingerprint(pushed) == expected, "sqlite sql strategy != instance"
 
         for workers, executor in ((2, "serial"), (3, "thread"), (2, "process")):
+            # materialize=False across worker counts: the lazy result must
+            # stay byte-identical to the eager serial instance too.
             parallel = parallel_chase(
                 database,
                 tgds,
@@ -135,9 +172,12 @@ class TestEngineConformance:
                 limits=LIMITS,
                 backend="sqlite",
                 executor=executor,
+                materialize=False,
             )
-            assert fingerprint(parallel) == expected, (
-                f"sqlite parallel(workers={workers}, executor={executor}) != instance"
+            assert_lazy_matches(
+                parallel,
+                expected,
+                f"sqlite parallel(workers={workers}, executor={executor})",
             )
 
 

@@ -24,6 +24,7 @@ from repro.storage.database import RelationalDatabase
 from repro.storage.shape_finder import InDatabaseShapeFinder
 from repro.storage.sqlbackend import (
     SqliteAtomStore,
+    SqliteOverlayStore,
     SqliteShapeFinder,
     shape_query_sqlite,
 )
@@ -322,3 +323,116 @@ class TestSqliteShapeFinder:
             RelationalDatabase.from_database(result.instance)
         ).find_shapes()
         assert pushed == reference
+
+
+class TestSqliteOverlayStore:
+    """The read-only-attach overlay the out-of-core process workers run on."""
+
+    def _base(self, tmp_path):
+        path = str(tmp_path / "base.db")
+        store = SqliteAtomStore(path=path, name="base")
+        store.load_database(parse_database(FACTS))
+        store.flush()
+        return path, store
+
+    def test_base_atoms_read_through_the_overlay(self, tmp_path):
+        path, base = self._base(tmp_path)
+        overlay = SqliteOverlayStore(path)
+        assert overlay.atom_count() == base.atom_count()
+        assert set(overlay.iter_atoms()) == set(base.iter_atoms())
+        assert overlay.predicate_cardinality(R) == base.predicate_cardinality(R)
+        assert set(overlay.atoms_matching(R, {0: Constant("b")})) == set(
+            base.atoms_matching(R, {0: Constant("b")})
+        )
+        overlay.close()
+        base.close()
+
+    def test_overlay_writes_never_touch_the_base_file(self, tmp_path):
+        path, base = self._base(tmp_path)
+        seed_count = base.atom_count()
+        overlay = SqliteOverlayStore(path)
+        delta = Atom(R, (Constant("z"), Null("nz")))
+        assert overlay.add_atom(delta)
+        assert overlay.has_atom(delta)
+        assert overlay.atom_count() == seed_count + 1
+        # Unioned reads cover both sides of the same predicate.
+        assert delta in set(overlay.atoms_with_predicate(R))
+        assert len(set(overlay.atoms_with_predicate(R))) == seed_count + 1
+        overlay.close()
+        base.close()
+        with SqliteAtomStore(path=path) as reopened:
+            assert reopened.atom_count() == seed_count
+            assert not reopened.has_atom(delta)
+
+    def test_add_atom_deduplicates_against_the_base_snapshot(self, tmp_path):
+        path, base = self._base(tmp_path)
+        existing = next(iter(base.iter_atoms()))
+        overlay = SqliteOverlayStore(path)
+        assert not overlay.add_atom(existing)
+        assert overlay.add_atoms([existing, Atom(R, (Constant("q"), Constant("r")))]) == 1
+        assert overlay.atom_count() == base.atom_count() + 1
+        overlay.close()
+        base.close()
+
+    def test_snapshot_isolation_from_coordinator_commits(self, tmp_path):
+        # The coordinator keeps committing merged rounds to the file while
+        # workers run; an overlay opened before those commits must not see
+        # them (the replica semantics the deterministic merge relies on).
+        path, base = self._base(tmp_path)
+        overlay = SqliteOverlayStore(path)
+        late = Atom(R, (Constant("late"), Constant("late")))
+        base.add_atom(late)
+        base.flush()
+        assert not overlay.has_atom(late)
+        assert late not in set(overlay.atoms_with_predicate(R))
+        assert overlay.atom_count() == base.atom_count() - 1
+        # ... but the overlay's own copy of the atom is a fresh delta.
+        assert overlay.add_atom(late)
+        assert overlay.has_atom(late)
+        overlay.close()
+        base.close()
+
+    def test_partitions_cover_both_sides(self, tmp_path):
+        path, base = self._base(tmp_path)
+        overlay = SqliteOverlayStore(path)
+        overlay.add_atom(Atom(R, (Constant("p"), Constant("q"))))
+        everything = set(overlay.atoms_with_predicate(R))
+        seen = []
+        for index in range(3):
+            seen.extend(overlay.atoms_partition(R, (0,), 3, index))
+        assert set(seen) == everything
+        assert len(seen) == len(everything)
+        overlay.close()
+        base.close()
+
+    def test_missing_base_file_raises_storage_error(self, tmp_path):
+        with pytest.raises(StorageError, match="cannot attach base"):
+            SqliteOverlayStore(str(tmp_path / "nowhere" / "base.db"))
+
+    def test_base_path_with_uri_metacharacters(self, tmp_path):
+        # Regression: the read-only ATTACH goes through a file: URI, so a
+        # literal '#', '?', '%', or space in the path must be
+        # percent-encoded or SQLite attaches the wrong file.
+        odd_dir = tmp_path / "odd dir#1 %x?y"
+        odd_dir.mkdir()
+        path = str(odd_dir / "base.db")
+        store = SqliteAtomStore(path=path)
+        store.load_database(parse_database(FACTS))
+        store.flush()
+        overlay = SqliteOverlayStore(path)
+        assert overlay.atom_count() == store.atom_count()
+        overlay.close()
+        store.close()
+
+    def test_parallel_process_chase_over_a_persistent_file_is_identical(self, tmp_path):
+        # The end-to-end overlay path: process workers attach the
+        # coordinator's file read-only, ship zero seed atoms, and the
+        # ChaseResult stays byte-identical to the serial engine's.
+        database, tgds = _program()
+        expected = fingerprint(chase(database, tgds))
+        store = make_backend_store(f"sqlite:{tmp_path / 'parallel.db'}")
+        result = parallel_chase(
+            database, tgds, workers=3, store=store, executor="process"
+        )
+        assert fingerprint(result) == expected
+        store.close()

@@ -114,6 +114,55 @@ class TestChaseCommand:
         ) == 0
         assert "store_file" not in capsys.readouterr().out
 
+    def test_chase_no_materialize_reports_counts_from_the_store(
+        self, join_rule_file, fact_file, tmp_path, capsys, monkeypatch
+    ):
+        # --no-materialize must never decode the fixpoint into an Instance:
+        # poison to_instance and the run still reports every count.
+        from repro.storage.sqlbackend import SqliteAtomStore
+
+        monkeypatch.setattr(
+            SqliteAtomStore,
+            "to_instance",
+            lambda store: pytest.fail("--no-materialize must not materialize"),
+        )
+        code = main(
+            [
+                "chase",
+                "--rules", str(join_rule_file),
+                "--facts", str(fact_file),
+                "--backend", f"sqlite:{tmp_path / 'lazy.db'}",
+                "--no-materialize",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "materialized: no" in output
+        assert "instance_size: " in output
+        assert "store_atoms: " in output
+
+    def test_chase_no_materialize_stats_match_the_eager_run(
+        self, join_rule_file, fact_file, capsys
+    ):
+        def stats(argv):
+            assert main(argv) == 0
+            lines = capsys.readouterr().out.splitlines()
+            return [
+                line
+                for line in lines
+                if "elapsed" not in line and "materialized" not in line
+            ]
+
+        base = [
+            "chase", "--rules", str(join_rule_file), "--facts", str(fact_file),
+            "--backend", "sqlite",
+        ]
+        eager = stats(base)
+        assert stats(base + ["--no-materialize"]) == eager
+        # The default run reports that it did materialise.
+        assert main(base) == 0
+        assert "materialized: yes" in capsys.readouterr().out
+
     def test_chase_budget_stop(self, rule_file, fact_file, capsys):
         code = main(
             ["chase", "--rules", str(rule_file), "--facts", str(fact_file), "--max-atoms", "20"]

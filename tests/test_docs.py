@@ -1,0 +1,95 @@
+"""The documentation suite stays truthful.
+
+Two guards:
+
+* **help snapshots** — ``docs/cli.md`` embeds the exact ``--help`` output
+  of the top-level parser and every subcommand between
+  ``<!-- help:NAME -->`` markers; this test regenerates each from
+  :func:`repro.cli._build_parser` (at the same 80-column width) and fails
+  on any drift, so a flag change cannot ship without its documentation;
+* **link check** — every relative markdown link in README.md,
+  ARCHITECTURE.md, ROADMAP.md, and docs/ must point at a file that exists.
+"""
+
+import os
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import _build_parser
+
+REPO = Path(__file__).resolve().parents[1]
+CLI_DOC = REPO / "docs" / "cli.md"
+
+CHECKED_DOCUMENTS = (
+    REPO / "README.md",
+    REPO / "ARCHITECTURE.md",
+    REPO / "ROADMAP.md",
+    REPO / "docs" / "cli.md",
+)
+
+HELP_BLOCK = re.compile(
+    r"<!-- help:(?P<name>[\w.-]+) -->\n```text\n(?P<body>.*?)\n```\n<!-- /help:(?P=name) -->",
+    re.DOTALL,
+)
+
+#: argparse renamed the section in 3.10; normalise so the snapshots match
+#: on every CI interpreter.
+_LEGACY_OPTIONS_HEADER = ("optional arguments:", "options:")
+
+
+def _normalize(text: str) -> str:
+    return text.rstrip().replace(*_LEGACY_OPTIONS_HEADER)
+
+
+def _expected_help_blocks():
+    os.environ["COLUMNS"] = "80"  # argparse wraps at the terminal width
+    parser = _build_parser()
+    blocks = {"repro-experiments": _normalize(parser.format_help())}
+    (subparsers,) = [
+        action
+        for action in parser._actions
+        if action.__class__.__name__ == "_SubParsersAction"
+    ]
+    for name, subparser in subparsers.choices.items():
+        blocks[name] = _normalize(subparser.format_help())
+    return blocks
+
+
+class TestHelpSnapshots:
+    def test_every_subcommand_is_documented(self):
+        documented = {match.group("name") for match in HELP_BLOCK.finditer(CLI_DOC.read_text())}
+        assert documented == set(_expected_help_blocks()), (
+            "docs/cli.md help blocks out of sync with the parser's subcommands"
+        )
+
+    def test_help_output_matches_the_documented_snapshot(self):
+        documented = {
+            match.group("name"): _normalize(match.group("body"))
+            for match in HELP_BLOCK.finditer(CLI_DOC.read_text())
+        }
+        for name, expected in _expected_help_blocks().items():
+            assert documented.get(name) == expected, (
+                f"docs/cli.md snapshot for {name!r} drifted from --help; "
+                "regenerate the block from the real parser output"
+            )
+
+
+MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+class TestMarkdownLinks:
+    @pytest.mark.parametrize(
+        "document", CHECKED_DOCUMENTS, ids=lambda path: path.name
+    )
+    def test_relative_links_resolve(self, document):
+        assert document.exists(), f"{document} is missing"
+        broken = []
+        for target in MARKDOWN_LINK.findall(document.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not (document.parent / path).exists():
+                broken.append(target)
+        assert not broken, f"{document.name} has broken relative links: {broken}"
