@@ -322,7 +322,11 @@ def chase(
         ``"indexed"`` (default) for the delta-driven index-join trigger
         engine, ``"naive"`` for the seed reference enumeration, ``"sql"``
         to compile body joins to SQLite statements executed inside the
-        sqlite backend.
+        sqlite backend, ``"sql-pushdown"`` to execute *whole rounds* as
+        set-based SQL — one ``INSERT ... SELECT`` batch per (rule, delta
+        round) with in-SQL null invention, and a single recursive CTE for
+        linear rule sets (see :mod:`repro.storage.sqlbackend.pushdown`);
+        both SQL strategies require the sqlite backend.
     backend:
         ``"instance"`` (default) chases into an in-memory
         :class:`Instance`; ``"relational"`` directly into a
@@ -377,6 +381,25 @@ def chase(
                 "the sqlite backend (backend='sqlite[:path]' or an explicit "
                 "SqliteAtomStore store)"
             )
+    if strategy == "sql-pushdown":
+        from ..storage.sqlbackend import SqliteAtomStore
+        from ..storage.sqlbackend.pushdown import PushdownExecutor
+
+        if not isinstance(store, SqliteAtomStore):
+            raise ValueError(
+                "strategy='sql-pushdown' executes whole chase rounds inside "
+                "SQLite and requires the sqlite backend "
+                "(backend='sqlite[:path]' or an explicit SqliteAtomStore "
+                "store)"
+            )
+        pushdown = PushdownExecutor(variant=variant, limits=limits, on_limit=on_limit)
+        try:
+            result = pushdown.run(database, tgds, store=store)
+        finally:
+            store.flush()
+        if materialize:
+            result.materialize()
+        return result
     engine = engine_class(limits=limits, on_limit=on_limit, strategy=strategy)
     try:
         result = engine.run(database, tgds, store=store)

@@ -46,8 +46,12 @@ from .triggers import Trigger, triggers_on
 
 #: Trigger-engine strategies accepted by the chase engines and ``chase()``.
 #: ``"sql"`` compiles body joins to SQLite statements and requires the
-#: sqlite backend (see :mod:`repro.storage.sqlbackend.plans`).
-STRATEGIES = ("indexed", "naive", "sql")
+#: sqlite backend (see :mod:`repro.storage.sqlbackend.plans`);
+#: ``"sql-pushdown"`` goes further and applies *whole rounds* as set-based
+#: SQL batches (see :mod:`repro.storage.sqlbackend.pushdown`) — it is
+#: routed by :func:`repro.chase.engine.chase` rather than through a
+#: trigger source.
+STRATEGIES = ("indexed", "naive", "sql", "sql-pushdown")
 
 
 def _bound_positions(pattern: Atom, mapping: Dict[Term, Term]) -> Dict[int, Term]:
@@ -262,4 +266,10 @@ def make_trigger_source(tgds: Sequence[TGD], strategy: str = "indexed") -> Trigg
         from ..storage.sqlbackend.plans import SqlTriggerSource
 
         return SqlTriggerSource(tgds)
+    if strategy == "sql-pushdown":
+        raise ValueError(
+            "the 'sql-pushdown' strategy applies whole rounds through "
+            "compiled SQL statements and does not enumerate triggers; run "
+            "it via repro.chase.engine.chase(strategy='sql-pushdown')"
+        )
     raise ValueError(f"unknown trigger strategy {strategy!r}; expected one of {STRATEGIES}")

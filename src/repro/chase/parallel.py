@@ -189,6 +189,89 @@ class _MatchWorker:
             )
 
 
+class PushdownMatchWorker(_MatchWorker):
+    """A :class:`_MatchWorker` whose body matching runs as compiled SQL.
+
+    The ``sql-pushdown`` strategy's worker: homomorphism enumeration moves
+    into SQLite (:class:`~repro.storage.sqlbackend.pushdown.CompiledPlanQuery`
+    — partition-filtered with ``repro_partition`` and watermarked by the
+    worker's own ``seq`` snapshot for semi-naive delta rounds), while the
+    consider/report path — firing keys, the restricted check, null
+    invention — is inherited unchanged, so reports stay byte-identical to
+    the indexed worker's and the coordinator's merge needs no changes.
+
+    Coordinator-routed *work_items* are ignored: the seed-slot watermark
+    plus the hash-partition predicate select exactly the (entry, new seed
+    atom) pairs this worker owns.
+    """
+
+    def __init__(self, worker_id: int, n_workers: int, tgds: Sequence[TGD], variant: str, store):
+        super().__init__(worker_id, n_workers, tgds, variant, store)
+        from ..storage.sqlbackend import SqliteAtomStore
+        from ..storage.sqlbackend.pushdown import CompiledPlanQuery
+
+        if not isinstance(store, SqliteAtomStore):
+            raise ValueError(
+                "the sql-pushdown strategy matches inside SQLite and "
+                "requires SqliteAtomStore worker stores"
+            )
+        self._queries = [
+            CompiledPlanQuery(
+                entry.tgd,
+                entry.plan.seed_slot,
+                entry.plan.partition_positions,
+                store,
+                n_workers > 1,
+            )
+            for entry in self.table.entries
+        ]
+        self._last_seq = 0
+
+    def initial_round(self) -> RoundReport:
+        considered: List[object] = []
+        fired: List[Tuple[object, Tuple[Atom, ...]]] = []
+        for entry in self.table.initial_entries:
+            query = self._queries[entry.plan_id]
+            for mapping in query.initial_matches(self.store, self.n_workers, self.worker_id):
+                self._consider(entry, mapping, considered, fired)
+        self._last_seq = self.store.current_seq()
+        return considered, fired
+
+    def delta_round(
+        self,
+        delta_atoms: Sequence[Atom],
+        work_items: Sequence[Tuple[int, int]],
+        apply_delta: bool,
+    ) -> RoundReport:
+        # The watermark is the snapshot taken at the end of the previous
+        # round — before this round's delta reached the store, whether the
+        # coordinator applied it (shared store) or we do below (replica).
+        delta_start = self._last_seq
+        if apply_delta:
+            for atom in delta_atoms:
+                self.store.add_atom(atom)
+        delta_predicates = {atom.predicate for atom in delta_atoms}
+        considered: List[object] = []
+        fired: List[Tuple[object, Tuple[Atom, ...]]] = []
+        for entry in self.table.entries:
+            if entry.plan.body[entry.plan.seed_slot].predicate not in delta_predicates:
+                continue
+            query = self._queries[entry.plan_id]
+            for mapping in query.delta_matches(
+                self.store, delta_start, self.n_workers, self.worker_id
+            ):
+                self._consider(entry, mapping, considered, fired)
+        self._last_seq = self.store.current_seq()
+        return considered, fired
+
+
+def _make_match_worker(strategy: str, worker_id: int, n_workers: int, tgds, variant: str, store):
+    """Build the per-partition worker for *strategy* (indexed or pushdown)."""
+    if strategy == "sql-pushdown":
+        return PushdownMatchWorker(worker_id, n_workers, tgds, variant, store)
+    return _MatchWorker(worker_id, n_workers, tgds, variant, store)
+
+
 # --------------------------------------------------------------------------- #
 # Worker pools
 
@@ -202,10 +285,10 @@ class _SerialPool:
     determinism tests lean on.
     """
 
-    def __init__(self, workers: int, tgds, variant, store):
+    def __init__(self, workers: int, tgds, variant, store, strategy: str = "indexed"):
         self.workers = workers
         self._match_workers = [
-            _MatchWorker(worker_id, workers, tgds, variant, store)
+            _make_match_worker(strategy, worker_id, workers, tgds, variant, store)
             for worker_id in range(workers)
         ]
 
@@ -233,11 +316,11 @@ class _ThreadPool:
     so no lazily-built index is constructed concurrently.
     """
 
-    def __init__(self, workers: int, tgds, variant, store):
+    def __init__(self, workers: int, tgds, variant, store, strategy: str = "indexed"):
         self.workers = workers
         self._pool = futures.ThreadPoolExecutor(max_workers=workers)
         self._match_workers = [
-            _MatchWorker(worker_id, workers, tgds, variant, store)
+            _make_match_worker(strategy, worker_id, workers, tgds, variant, store)
             for worker_id in range(workers)
         ]
         _warm_position_indexes(store, tgds)
@@ -404,7 +487,7 @@ def _add_seed_atoms(store, atoms) -> None:
             store.add_atom(atom)
 
 
-def _worker_main(conn, worker_id, n_workers, tgds, variant, store_spec) -> None:
+def _worker_main(conn, worker_id, n_workers, tgds, variant, store_spec, strategy="indexed") -> None:
     """Entry point of a process worker: build the replica, serve rounds.
 
     The replica is seeded by ``("seed", chunk)`` messages (streamed by the
@@ -414,7 +497,7 @@ def _worker_main(conn, worker_id, n_workers, tgds, variant, store_spec) -> None:
     try:
         try:
             store = _open_replica_store(store_spec, worker_id)
-            worker = _MatchWorker(worker_id, n_workers, tgds, variant, store)
+            worker = _make_match_worker(strategy, worker_id, n_workers, tgds, variant, store)
         except Exception:
             conn.send(("error", traceback.format_exc()))
             return
@@ -454,7 +537,8 @@ class _ProcessPool:
     saw rounds ``< i``.
     """
 
-    def __init__(self, workers: int, tgds, variant, store_spec, worker_seeds=None):
+    def __init__(self, workers: int, tgds, variant, store_spec, worker_seeds=None,
+                 strategy: str = "indexed"):
         self.workers = workers
         context = multiprocessing.get_context()
         self._connections = []
@@ -471,6 +555,7 @@ class _ProcessPool:
                         tuple(tgds),
                         variant,
                         store_spec,
+                        strategy,
                     ),
                     daemon=True,
                 )
@@ -540,6 +625,7 @@ class ParallelChaseExecutor:
         limits: Optional[ChaseLimits] = None,
         on_limit: str = "return",
         executor: str = "auto",
+        strategy: str = "indexed",
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -547,12 +633,18 @@ class ParallelChaseExecutor:
             raise ValueError("on_limit must be 'return' or 'raise'")
         if executor not in EXECUTORS:
             raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        if strategy not in ("indexed", "sql-pushdown"):
+            raise ValueError(
+                "the parallel chase runs the 'indexed' or 'sql-pushdown' "
+                f"matching engines, got {strategy!r}"
+            )
         resolve_engine_class(variant)  # validate eagerly
         self.variant = variant
         self.workers = workers
         self.limits = limits if limits is not None else ChaseLimits()
         self.on_limit = on_limit
         self.executor = executor
+        self.strategy = strategy
 
     # ------------------------------------------------------------------ #
 
@@ -575,16 +667,17 @@ class ParallelChaseExecutor:
                     else "thread"
                 )
         if executor == "serial" or self.workers == 1:
-            return _SerialPool(self.workers, tgds, self.variant, store)
+            return _SerialPool(self.workers, tgds, self.variant, store, self.strategy)
         if executor == "thread":
-            return _ThreadPool(self.workers, tgds, self.variant, store)
+            return _ThreadPool(self.workers, tgds, self.variant, store, self.strategy)
         if isinstance(store, SqliteAtomStore) and store.is_persistent:
             # Out-of-core seeding: commit the seed so workers attaching the
             # file read-only see it, and ship no atoms at all — each replica
             # is an overlay over the coordinator's own file.
             store.flush()
             return _ProcessPool(
-                self.workers, tgds, self.variant, ("sqlite-file", store.path)
+                self.workers, tgds, self.variant, ("sqlite-file", store.path),
+                strategy=self.strategy,
             )
         if isinstance(store, RelationalDatabase):
             store_spec = ("relational",)
@@ -610,7 +703,9 @@ class ParallelChaseExecutor:
                 full_atoms=full_atoms,
             )
 
-        return _ProcessPool(self.workers, tgds, self.variant, store_spec, worker_seeds)
+        return _ProcessPool(
+            self.workers, tgds, self.variant, store_spec, worker_seeds, self.strategy
+        )
 
     def _partition_work(
         self, table: _PlanTable, delta_atoms: Sequence[Atom]
@@ -750,18 +845,29 @@ def parallel_chase(
     — atoms, null names, round and trigger counts — to the serial
     engine's, for every worker count and executor kind.
     """
-    if strategy != "indexed":
+    if strategy not in ("indexed", "sql-pushdown"):
         raise ValueError(
-            f"the parallel chase runs the indexed trigger engine only, got {strategy!r}"
+            "the parallel chase runs the 'indexed' or 'sql-pushdown' "
+            f"matching engines, got {strategy!r}"
         )
     if store is None:
         store = make_backend_store(backend)
+    if strategy == "sql-pushdown":
+        from ..storage.sqlbackend import SqliteAtomStore
+
+        if not isinstance(store, SqliteAtomStore):
+            raise ValueError(
+                "strategy='sql-pushdown' matches inside SQLite and requires "
+                "the sqlite backend (backend='sqlite[:path]' or an explicit "
+                "SqliteAtomStore store)"
+            )
     coordinator = ParallelChaseExecutor(
         variant=variant,
         workers=workers,
         limits=limits,
         on_limit=on_limit,
         executor=executor,
+        strategy=strategy,
     )
     try:
         result = coordinator.run(database, tgds, store=store)

@@ -6,8 +6,9 @@ Subcommands
     Run a termination check on a rule file (and optional fact file).
 ``chase``
     Run one of the chase engines on a rule file (and optional fact file),
-    choosing the variant, the trigger strategy (indexed/naive/sql), and the
-    store backend (instance/relational/sqlite[:path]).
+    choosing the variant, the trigger strategy
+    (indexed/naive/sql/sql-pushdown), and the store backend
+    (instance/relational/sqlite[:path]).
 ``run``
     Regenerate one of the paper's figures or tables and print its rows
     (optionally writing them to CSV).
@@ -26,6 +27,7 @@ Examples
     repro-experiments chase --rules rules.txt --facts data.txt --variant restricted
     repro-experiments chase --rules rules.txt --strategy naive --backend relational
     repro-experiments chase --rules rules.txt --backend sqlite:chase.db --strategy sql
+    repro-experiments chase --rules rules.txt --backend sqlite --strategy sql-pushdown
     repro-experiments chase --rules rules.txt --backend sqlite:chase.db --no-materialize
     repro-experiments chase --rules rules.txt --parallel 4
     repro-experiments chase --rules rules.txt --parallel 4 --backend relational --executor process
@@ -92,7 +94,8 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=STRATEGIES,
         default="indexed",
         help="trigger engine: delta-driven index joins, the naive reference, "
-        "or SQL joins pushed into the sqlite backend (default: indexed)",
+        "SQL joins pushed into the sqlite backend, or sql-pushdown — whole "
+        "set-based rounds compiled into SQLite (default: indexed)",
     )
     chase_cmd.add_argument(
         "--backend",
@@ -223,10 +226,10 @@ def _command_chase(args) -> int:
     if args.parallel < 1:
         print("--parallel must be >= 1", file=sys.stderr)
         return 2
-    if args.parallel > 1 and args.strategy != "indexed":
+    if args.parallel > 1 and args.strategy not in ("indexed", "sql-pushdown"):
         print(
-            "--parallel runs the indexed trigger engine; drop --strategy "
-            f"{args.strategy} or use --parallel 1",
+            "--parallel runs the indexed or sql-pushdown engines; drop "
+            f"--strategy {args.strategy} or use --parallel 1",
             file=sys.stderr,
         )
         return 2
@@ -237,10 +240,10 @@ def _command_chase(args) -> int:
         return 2
     from .storage.sqlbackend import SqliteAtomStore
 
-    if args.strategy == "sql" and not isinstance(store, SqliteAtomStore):
+    if args.strategy in ("sql", "sql-pushdown") and not isinstance(store, SqliteAtomStore):
         print(
-            "--strategy sql pushes body joins into SQLite and requires "
-            "--backend sqlite[:path]",
+            f"--strategy {args.strategy} pushes work into SQLite and "
+            "requires --backend sqlite[:path]",
             file=sys.stderr,
         )
         return 2

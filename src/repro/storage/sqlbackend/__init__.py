@@ -8,6 +8,10 @@ exactly as they run in memory:
   over one SQLite database (``chase --backend sqlite[:path]``);
 * :class:`SqlTriggerSource` — trigger matching as parameterized SQL joins
   executed inside SQLite (``chase --strategy sql``);
+* :class:`PushdownExecutor` — the whole chase fixpoint compiled into the
+  database (``chase --strategy sql-pushdown``): one set-based statement
+  batch per (rule, delta round), nulls invented in SQL, and a single
+  recursive CTE for linear rule sets (see :mod:`.pushdown`);
 * :class:`SqliteShapeFinder` — the paper's in-database ``FindShapes``
   issuing real ``EXISTS`` queries instead of Python row scans.
 
@@ -18,16 +22,28 @@ process workers share a disk-resident seed without pickling it.
 """
 
 from .plans import CompiledBodyQuery, SqlTriggerSource
+from .pushdown import (
+    SKOLEM_FUNCTION,
+    CompiledPlanQuery,
+    CompiledRule,
+    PushdownExecutor,
+    register_skolem_function,
+)
 from .shapes import SqliteShapeFinder, shape_query_sqlite
 from .store import MEMORY_PATH, SqliteAtomStore, SqliteOverlayStore, table_name
 
 __all__ = [
     "CompiledBodyQuery",
+    "CompiledPlanQuery",
+    "CompiledRule",
     "MEMORY_PATH",
+    "PushdownExecutor",
+    "SKOLEM_FUNCTION",
     "SqlTriggerSource",
     "SqliteAtomStore",
     "SqliteOverlayStore",
     "SqliteShapeFinder",
     "shape_query_sqlite",
+    "register_skolem_function",
     "table_name",
 ]

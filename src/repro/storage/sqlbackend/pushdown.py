@@ -1,0 +1,840 @@
+"""The ``sql-pushdown`` execution layer: whole chase rounds as compiled SQL.
+
+The ``sql`` strategy (:mod:`.plans`) pushes *body matching* into SQLite but
+still streams every binding back into Python, invents nulls one
+``Substitution`` at a time, and re-inserts head atoms row by row.  This
+module pushes the rest of the loop down too: each (rule, delta round) pair
+executes as one set-based ``INSERT ... SELECT`` batch, with
+
+* the semi-naive discipline expressed as ``seq`` watermark predicates in the
+  ``WHERE`` clause (the seed slot reads only the previous round's delta,
+  earlier slots only pre-delta atoms, so every homomorphism is enumerated
+  exactly once across slots);
+* firing-key dedup as an anti-join against a per-rule ``pd_fired_*`` temp
+  table (the SQL rendering of the engines' ``fired_keys`` memo);
+* the restricted variant's "no satisfying head exists" check as a correlated
+  ``NOT EXISTS`` over the head join, evaluated against the round-start
+  snapshot exactly like the serial engine's buffered-round semantics;
+* null invention as a SQL expression — :data:`SKOLEM_FUNCTION` is a
+  deterministic UDF computing the *same* content-addressed name
+  :class:`~repro.core.terms.NullFactory` would, from the rule id and the
+  witness bindings, so results stay byte-identical to the interpreted
+  strategies.
+
+For **linear** rule sets (every body a single atom) under the oblivious and
+semi-oblivious variants, :class:`PushdownExecutor` switches to a second
+tier: the entire fixpoint runs as *one* recursive CTE whose rows carry a
+per-row round column, and the round/trigger/atom accounting of the serial
+engine is replayed over the per-round counts afterwards (see
+:class:`_RecursiveCteTier`).
+
+:class:`CompiledPlanQuery` is the parallel-worker companion: the same
+compiled body join, partition-filtered with ``repro_partition`` and
+watermarked by the worker's own ``seq`` snapshot, feeding homomorphisms to
+the ordinary trigger/report protocol of :mod:`repro.chase.parallel`.
+
+Layering: this package must stay importable without :mod:`repro.chase`, so
+chase-side classes (``ChaseResult``, ``ChaseLimits``) are imported inside
+the functions that need them, mirroring :mod:`.plans`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ...core.predicates import Predicate
+from ...core.terms import Variable
+from ...exceptions import ChaseLimitExceeded
+from ..relation import NULL_MARKER, decode_value
+from .store import SqliteAtomStore, _quote, table_name
+
+#: Name of the deterministic null-inventing SQL function registered by
+#: :func:`register_skolem_function`.
+SKOLEM_FUNCTION = "repro_skolem"
+
+#: Cap schedule of the recursive-CTE tier: first attempt, then multiply
+#: until the budget automaton is conclusive (a cap equal to ``max_rounds``
+#: is always conclusive, so bounded runs never retry more than once).
+_CTE_INITIAL_CAP = 8
+_CTE_CAP_GROWTH = 4
+
+
+def _sql_string(text: str) -> str:
+    """Render *text* as a SQL string literal (single quotes doubled)."""
+    return "'" + text.replace("'", "''") + "'"
+
+
+def register_skolem_function(store: SqliteAtomStore, prefix: str = "n") -> None:
+    """Register :data:`SKOLEM_FUNCTION` on *store*'s connection.
+
+    ``repro_skolem(tgd_index, names_json, variable_name, *encoded_values)``
+    returns the *encoded* null (``"_:" + name``) that
+    :meth:`~repro.core.terms.NullFactory.for_key` would mint for the key
+    ``(tgd_index, witness, variable_name)`` — where *witness* is the tuple
+    of ``(Variable, Term)`` pairs reassembled from the JSON-encoded variable
+    names and the encoded column values.  Determinism is what makes the
+    whole strategy exact: the same witness always maps to the same null,
+    whether it is computed here or by the interpreted engines.
+    """
+
+    names_cache: Dict[str, Tuple[str, ...]] = {}
+
+    def skolem(tgd_index, names_json, variable_name, *encoded_values):
+        names = names_cache.get(names_json)
+        if names is None:
+            names = tuple(json.loads(names_json))
+            names_cache[names_json] = names
+        witness = tuple(
+            (Variable(name), decode_value(value))
+            for name, value in zip(names, encoded_values)
+        )
+        key = (int(tgd_index), witness, variable_name)
+        digest = hashlib.blake2b(repr(key).encode("utf-8"), digest_size=9).hexdigest()
+        return f"{NULL_MARKER}{prefix}_{digest}"
+
+    store.connection.create_function(SKOLEM_FUNCTION, -1, skolem, deterministic=True)
+
+
+class CompiledRule:
+    """Every compiled statement of one TGD under one chase variant.
+
+    This is the statement cache the strategy runs on: all SQL text is
+    rendered once (per seed slot, lazily) and reused every round with only
+    the ``:delta_start`` / ``:round_start`` / ``:round_seq`` parameters
+    changing, so sqlite3's per-connection prepared-statement cache keys on
+    identical strings.
+
+    Per round and seed slot the executor runs, in order:
+
+    1. :meth:`stage` — ``INSERT INTO pd_stage_i SELECT DISTINCT <witness>``
+       from the watermarked body join, anti-joined against ``pd_fired_i``;
+    2. :meth:`record` — memoize the staged keys into ``pd_fired_i``
+       (*before* the restricted check, matching the engines, which memoize
+       a key even when its head turns out satisfied);
+    3. :meth:`filter_unsatisfied` (restricted only) — copy into
+       ``pd_fire_i`` the staged keys whose head has no homomorphic image in
+       the round-start snapshot;
+    4. the statements in :attr:`head_inserts` — one
+       ``INSERT OR IGNORE ... SELECT`` per head atom, with frontier columns
+       read from the key table and existentials minted by
+       :data:`SKOLEM_FUNCTION`.
+    """
+
+    def __init__(self, tgd_index: int, tgd, variant: str, store: SqliteAtomStore):
+        self.tgd_index = tgd_index
+        self.tgd = tgd
+        self.restricted = variant == "restricted"
+        scope_all = variant == "oblivious"
+        self._store = store
+
+        # Body layout: first-occurrence column per variable, equality
+        # conditions for repeated occurrences (the same rendering as
+        # plans.CompiledBodyQuery, so both strategies see the same joins).
+        first_seen: Dict[Variable, str] = {}
+        conditions: List[str] = []
+        for slot, atom in enumerate(tgd.body):
+            for position, term in enumerate(atom.terms):
+                column = f"t{slot}.c{position}"
+                if term in first_seen:
+                    conditions.append(f"{column} = {first_seen[term]}")
+                else:
+                    first_seen[term] = column
+        self._first_seen = first_seen
+        self._conditions = tuple(conditions)
+
+        # The witness is the firing key *and* the null scope: the full
+        # homomorphism for the oblivious chase, the frontier otherwise —
+        # sorted by variable name, matching oblivious_key() /
+        # frontier_assignment() in chase.triggers.
+        pool = first_seen.keys() if scope_all else tgd.frontier()
+        self.witness: Tuple[Variable, ...] = tuple(
+            sorted(pool, key=lambda variable: variable.name)
+        )
+        self._witness_exprs = tuple(first_seen[v] for v in self.witness)
+        self._names_json = json.dumps([v.name for v in self.witness])
+        if self.witness:
+            self._key_columns: Tuple[str, ...] = tuple(
+                f"k{i}" for i in range(len(self.witness))
+            )
+        else:
+            # Variable-free witness (e.g. a nullary body): a single
+            # sentinel key row, so "fired once" is still representable.
+            self._key_columns = ("k_sentinel",)
+        self._key_of = {v: f"k{i}" for i, v in enumerate(self.witness)}
+
+        self._stage = f"pd_stage_{tgd_index}"
+        self._fired = f"pd_fired_{tgd_index}"
+        self._firing = f"pd_fire_{tgd_index}"
+        self._stage_sql_cache: Dict[int, str] = {}
+
+        self._bind(store)
+        self.firing_sql: Optional[str] = (
+            self._compile_firing(store) if self.restricted else None
+        )
+        self.head_inserts: Tuple[Tuple[str, Predicate], ...] = tuple(
+            self._compile_head_insert(store, atom) for atom in tgd.head
+        )
+
+    # ------------------------------------------------------------------ #
+    # Compilation
+
+    def _bind(self, store: SqliteAtomStore) -> None:
+        """Create relations, join indexes, and this rule's temp tables."""
+        for atom in self.tgd.body + self.tgd.head:
+            store.create_relation(atom.predicate)
+        # Join columns: any position (beyond the primary leading-column
+        # index) holding a variable that occurs more than once in the body
+        # participates in an equality join and gets a covering index.
+        occurrences: Dict[Variable, int] = {}
+        for atom in self.tgd.body:
+            for term in atom.terms:
+                occurrences[term] = occurrences.get(term, 0) + 1
+        for atom in self.tgd.body:
+            for position, term in enumerate(atom.terms):
+                if position > 0 and occurrences.get(term, 0) > 1:
+                    store._ensure_position_index(atom.predicate, position)
+        if self.restricted:
+            # The NOT EXISTS head probe correlates frontier columns.
+            for atom in self.tgd.head:
+                for position, term in enumerate(atom.terms):
+                    if position > 0 and term in self._key_of:
+                        store._ensure_position_index(atom.predicate, position)
+
+        columns_ddl = ", ".join(f"{c} TEXT NOT NULL" for c in self._key_columns)
+        unique = ", ".join(self._key_columns)
+        store.bulk_apply(f"DROP TABLE IF EXISTS temp.{self._stage}")
+        store.bulk_apply(f"CREATE TEMP TABLE {self._stage} ({columns_ddl})")
+        store.bulk_apply(f"DROP TABLE IF EXISTS temp.{self._fired}")
+        store.bulk_apply(
+            f"CREATE TEMP TABLE {self._fired} ({columns_ddl}, UNIQUE({unique}))"
+        )
+        if self.restricted:
+            store.bulk_apply(f"DROP TABLE IF EXISTS temp.{self._firing}")
+            store.bulk_apply(f"CREATE TEMP TABLE {self._firing} ({columns_ddl})")
+
+    def stage_sql(self, seed_slot: int) -> str:
+        """The staging statement with *seed_slot* as the delta slot."""
+        sql = self._stage_sql_cache.get(seed_slot)
+        if sql is not None:
+            return sql
+        store = self._store
+        tables = [
+            f"{store.read_source(atom.predicate)} AS t{slot}"
+            for slot, atom in enumerate(self.tgd.body)
+        ]
+        conditions = list(self._conditions)
+        for slot in range(len(self.tgd.body)):
+            alias = f"t{slot}"
+            if slot == seed_slot:
+                # Only the previous round's delta seeds this slot; the
+                # upper bound excludes atoms this round already inserted
+                # (the engines buffer a round's heads until it ends).
+                conditions.append(f"{alias}.seq > :delta_start")
+                conditions.append(f"{alias}.seq <= :round_start")
+            elif slot < seed_slot:
+                conditions.append(f"{alias}.seq <= :delta_start")
+            else:
+                conditions.append(f"{alias}.seq <= :round_start")
+        if self.witness:
+            select = ", ".join(self._witness_exprs)
+            anti = " AND ".join(
+                f"f.{column} = {expression}"
+                for column, expression in zip(self._key_columns, self._witness_exprs)
+            )
+            conditions.append(
+                f"NOT EXISTS (SELECT 1 FROM {self._fired} AS f WHERE {anti})"
+            )
+        else:
+            select = "'0'"
+            conditions.append(f"NOT EXISTS (SELECT 1 FROM {self._fired})")
+        sql = (
+            f"INSERT INTO {self._stage} ({', '.join(self._key_columns)}) "
+            f"SELECT DISTINCT {select} FROM {', '.join(tables)} "
+            f"WHERE {' AND '.join(conditions)}"
+        )
+        self._stage_sql_cache[seed_slot] = sql
+        return sql
+
+    def _compile_firing(self, store: SqliteAtomStore) -> str:
+        """Restricted-variant filter: keys whose head is *not* yet satisfied.
+
+        One correlated ``NOT EXISTS`` over the join of all head atoms:
+        frontier positions equate to the staged key columns, repeated
+        existentials equate to their first occurrence, and every head alias
+        is pinned to the round-start snapshot (``seq <= :round_start``) —
+        the store state the serial engine's ``_should_fire`` sees, since it
+        buffers the round's new atoms outside the store.
+        """
+        aliases: List[str] = []
+        conditions: List[str] = []
+        existential_seen: Dict[Variable, str] = {}
+        for index, atom in enumerate(self.tgd.head):
+            alias = f"h{index}"
+            aliases.append(f"{store.read_source(atom.predicate)} AS {alias}")
+            conditions.append(f"{alias}.seq <= :round_start")
+            for position, term in enumerate(atom.terms):
+                column = f"{alias}.c{position}"
+                if term in self._key_of:
+                    conditions.append(f"{column} = w.{self._key_of[term]}")
+                elif term in existential_seen:
+                    conditions.append(f"{column} = {existential_seen[term]}")
+                else:
+                    existential_seen[term] = column
+        columns = ", ".join(self._key_columns)
+        return (
+            f"INSERT INTO {self._firing} ({columns}) "
+            f"SELECT {columns} FROM {self._stage} AS w "
+            f"WHERE NOT EXISTS (SELECT 1 FROM {', '.join(aliases)} "
+            f"WHERE {' AND '.join(conditions)})"
+        )
+
+    def head_expr(self, term) -> str:
+        """SQL expression producing *term*'s encoded value for a key row ``w``."""
+        column = self._key_of.get(term)
+        if column is not None:
+            return f"w.{column}"
+        witness_args = "".join(f", w.{c}" for c in self._key_of.values())
+        return (
+            f"{SKOLEM_FUNCTION}({self.tgd_index}, "
+            f"{_sql_string(self._names_json)}, {_sql_string(term.name)}"
+            f"{witness_args})"
+        )
+
+    def _compile_head_insert(self, store: SqliteAtomStore, atom) -> Tuple[str, Predicate]:
+        expressions = [self.head_expr(term) for term in atom.terms] or ["'0'"]
+        columns = store._columns(atom.predicate.arity)
+        source = self._firing if self.restricted else self._stage
+        guard = store.insert_guard(atom.predicate, expressions)
+        where = f" WHERE {guard}" if guard else ""
+        sql = (
+            f"INSERT OR IGNORE INTO {_quote(table_name(atom.predicate.name))} "
+            f"({', '.join(columns)}, seq) "
+            f"SELECT {', '.join(expressions)}, :round_seq FROM {source} AS w{where}"
+        )
+        return sql, atom.predicate
+
+    # ------------------------------------------------------------------ #
+    # Round execution
+
+    def stage(self, store: SqliteAtomStore, seed_slot: int, delta_start: int, round_start: int) -> int:
+        """Stage this (rule, slot)'s new firing keys; return how many."""
+        store.bulk_apply(f"DELETE FROM {self._stage}")
+        return store.bulk_apply(
+            self.stage_sql(seed_slot),
+            {"delta_start": delta_start, "round_start": round_start},
+        )
+
+    def record(self, store: SqliteAtomStore) -> None:
+        """Memoize the staged keys so later rounds never re-fire them."""
+        store.bulk_apply(
+            f"INSERT OR IGNORE INTO {self._fired} SELECT * FROM {self._stage}"
+        )
+
+    def filter_unsatisfied(self, store: SqliteAtomStore, round_start: int) -> int:
+        """Restricted check; returns the number of keys that actually fire."""
+        store.bulk_apply(f"DELETE FROM {self._firing}")
+        return store.bulk_apply(self.firing_sql, {"round_start": round_start})
+
+
+def _limit_stopped(variant, store, rounds, atoms_created, triggers_fired, reason, on_limit):
+    from ...chase.result import ChaseResult
+
+    if on_limit == "raise":
+        raise ChaseLimitExceeded(
+            f"{variant} chase exceeded its {reason} budget",
+            atoms_created=atoms_created,
+            rounds=rounds,
+        )
+    return ChaseResult(
+        terminated=False,
+        rounds=rounds,
+        atoms_created=atoms_created,
+        triggers_fired=triggers_fired,
+        stop_reason=reason,
+        store=store,
+    )
+
+
+class PushdownExecutor:
+    """Run the chase as compiled set-based SQL inside a sqlite store.
+
+    Same configuration surface as :class:`~repro.chase.engine.ChaseEngine`
+    (*variant*, *limits*, *on_limit*) and the same result contract —
+    termination verdict, round/trigger/atom counts, and the instance are
+    byte-identical to the interpreted engines, null names included.  The
+    difference is purely *how* a round runs: one statement batch per (rule,
+    delta slot), no per-binding Python.
+
+    Linear rule sets under the oblivious/semi-oblivious variants route to
+    the recursive-CTE tier instead (one statement for the whole fixpoint);
+    the restricted variant always takes the round loop, because its
+    ``NOT EXISTS`` check must observe round-start snapshots.
+    """
+
+    VARIANTS = ("oblivious", "semi-oblivious", "semi_oblivious", "restricted")
+
+    def __init__(self, variant: str = "semi-oblivious", limits=None, on_limit: str = "return"):
+        if variant not in self.VARIANTS:
+            raise ValueError(
+                f"unknown chase variant {variant!r}; expected one of {self.VARIANTS}"
+            )
+        if on_limit not in ("return", "raise"):
+            raise ValueError(f"on_limit must be 'return' or 'raise', got {on_limit!r}")
+        from ...chase.result import ChaseLimits
+
+        self.variant = "semi-oblivious" if variant == "semi_oblivious" else variant
+        self.limits = limits if limits is not None else ChaseLimits()
+        self.on_limit = on_limit
+
+    def run(self, database, tgds, store: SqliteAtomStore):
+        """Chase *database* with *tgds* into *store*; return a ChaseResult."""
+        if not isinstance(store, SqliteAtomStore):
+            raise ValueError(
+                "the sql-pushdown strategy executes inside SQLite and "
+                "requires a SqliteAtomStore"
+            )
+        store.load_database(database)
+        register_skolem_function(store)
+        rules = [
+            CompiledRule(index, tgd, self.variant, store)
+            for index, tgd in enumerate(tgds)
+        ]
+        linear = bool(rules) and all(len(rule.tgd.body) == 1 for rule in rules)
+        if linear and self.variant != "restricted":
+            tier = _RecursiveCteTier(rules, store)
+            return tier.run(self.limits, self.on_limit, self.variant)
+        return self._run_rounds(rules, store)
+
+    def _run_rounds(self, rules: List[CompiledRule], store: SqliteAtomStore):
+        """The delta-round tier: the serial loop, one statement per step."""
+        from ...chase.result import ChaseResult
+
+        limits = self.limits
+        rounds = 0
+        atoms_created = 0
+        triggers_fired = 0
+        delta_predicates: Optional[Set[str]] = None  # None = initial round
+        prev_watermark = 0
+        while True:
+            if limits.round_budget_exceeded(rounds + 1):
+                return _limit_stopped(
+                    self.variant, store, rounds, atoms_created, triggers_fired,
+                    "max_rounds", self.on_limit,
+                )
+            round_start = store.current_seq()
+            round_seq = round_start + 1
+            round_inserts: Dict[str, int] = {}
+            for rule in rules:
+                if delta_predicates is None:
+                    # Initial round: the slot-0 statement with a zero
+                    # watermark is the unconstrained full body join.
+                    slots: Tuple[int, ...] = (0,)
+                    delta_start = 0
+                else:
+                    slots = tuple(
+                        slot
+                        for slot, atom in enumerate(rule.tgd.body)
+                        if atom.predicate.name in delta_predicates
+                    )
+                    delta_start = prev_watermark
+                for slot in slots:
+                    staged = rule.stage(store, slot, delta_start, round_start)
+                    if staged == 0:
+                        continue
+                    rule.record(store)
+                    if rule.restricted:
+                        fired = rule.filter_unsatisfied(store, round_start)
+                    else:
+                        fired = staged
+                    triggers_fired += fired
+                    if fired == 0:
+                        continue
+                    for head_sql, head_predicate in rule.head_inserts:
+                        inserted = store.bulk_apply(
+                            head_sql, {"round_seq": round_seq}, predicate=head_predicate
+                        )
+                        if inserted:
+                            round_inserts[head_predicate.name] = (
+                                round_inserts.get(head_predicate.name, 0) + inserted
+                            )
+            total = sum(round_inserts.values())
+            if total == 0:
+                store.flush()
+                return ChaseResult(
+                    terminated=True,
+                    rounds=rounds,
+                    atoms_created=atoms_created,
+                    triggers_fired=triggers_fired,
+                    stop_reason="fixpoint",
+                    store=store,
+                )
+            store.advance_seq(round_seq)
+            # Round-granular durability, like the serial engines: a crash
+            # loses at most the in-flight round.
+            store.flush()
+            atoms_created += total
+            rounds += 1
+            prev_watermark = round_start
+            delta_predicates = set(round_inserts)
+            if limits.atom_budget_exceeded(store.atom_count()):
+                return _limit_stopped(
+                    self.variant, store, rounds, atoms_created, triggers_fired,
+                    "max_atoms", self.on_limit,
+                )
+
+
+class _RecursiveCteTier:
+    """Linear rule sets: the whole fixpoint as one recursive CTE.
+
+    All involved predicates are folded into a single recursion
+    ``ch(pred, k0..kN, round)`` (rows tagged and padded to the widest
+    arity): the base branches emit every seed atom at round 0, and each
+    (rule, head atom) contributes a recursive branch deriving the head row
+    at ``round + 1`` — existentials minted inline by the skolem UDF, so the
+    recursion carries finished atom rows, not bindings.  ``UNION`` dedup
+    keeps re-derivations bounded per (row, round).
+
+    The statement materializes ``MIN(round)`` per distinct row into a temp
+    table.  For linear rules that minimum *is* the breadth-first round the
+    engines would first create the atom in (a parent row at its minimal
+    round derives the child at the next one), and levels are contiguous, so
+    the serial loop's budget automaton can be replayed over the per-round
+    counts to recover ``rounds`` / ``atoms_created`` / ``stop_reason``
+    exactly; ``triggers_fired`` is recovered per rule as the count of
+    distinct witness projections among body rows up to the stop round.
+
+    The recursion depth cap starts small and grows geometrically until the
+    replay is conclusive — a run stopped by its round budget, or a fixpoint
+    observed strictly below the cap, never needs a retry.
+    """
+
+    ATOMS_TABLE = "pd_cte_atoms"
+
+    def __init__(self, rules: Sequence[CompiledRule], store: SqliteAtomStore):
+        self.rules = tuple(rules)
+        self.store = store
+        predicates: Dict[str, Predicate] = {}
+        for rule in self.rules:
+            for atom in rule.tgd.body + rule.tgd.head:
+                predicates.setdefault(atom.predicate.name, atom.predicate)
+        self.predicates: List[Predicate] = [
+            predicates[name] for name in sorted(predicates)
+        ]
+        self._tag = {
+            predicate.name: f":p{index}"
+            for index, predicate in enumerate(self.predicates)
+        }
+        self.width = max(1, max(p.arity for p in self.predicates))
+        self._params = {
+            f"p{index}": predicate.name
+            for index, predicate in enumerate(self.predicates)
+        }
+        self._bind(store)
+        self.cte_sql = self._compile_cte(store)
+        self._count_sqls = [self._compile_trigger_count(rule) for rule in self.rules]
+
+    def _bind(self, store: SqliteAtomStore) -> None:
+        key_columns = ", ".join(f"k{i} TEXT NOT NULL" for i in range(self.width))
+        store.bulk_apply(f"DROP TABLE IF EXISTS temp.{self.ATOMS_TABLE}")
+        store.bulk_apply(
+            f"CREATE TEMP TABLE {self.ATOMS_TABLE} "
+            f"(pred TEXT NOT NULL, {key_columns}, min_round INTEGER NOT NULL)"
+        )
+        store.bulk_apply(
+            f"CREATE INDEX pd_cte_atoms_pred ON {self.ATOMS_TABLE} (pred, min_round)"
+        )
+
+    def _compile_cte(self, store: SqliteAtomStore) -> str:
+        key_columns = [f"k{i}" for i in range(self.width)]
+        branches: List[str] = []
+        for predicate in self.predicates:
+            expressions = (
+                [f"c{i}" for i in range(predicate.arity)]
+                if predicate.arity
+                else ["c_sentinel"]
+            )
+            expressions += ["''"] * (self.width - len(expressions))
+            branches.append(
+                f"SELECT {self._tag[predicate.name]}, {', '.join(expressions)}, 0 "
+                f"FROM {store.read_source(predicate)}"
+            )
+        for rule in self.rules:
+            body = rule.tgd.body[0]
+            first_position: Dict[Variable, int] = {}
+            conditions: List[str] = []
+            for position, term in enumerate(body.terms):
+                if term in first_position:
+                    conditions.append(f"ch.k{position} = ch.k{first_position[term]}")
+                else:
+                    first_position[term] = position
+            witness_args = "".join(
+                f", ch.k{first_position[v]}" for v in rule.witness
+            )
+            for head in rule.tgd.head:
+                expressions = []
+                for term in head.terms:
+                    body_position = first_position.get(term)
+                    if body_position is not None:
+                        expressions.append(f"ch.k{body_position}")
+                    else:
+                        expressions.append(
+                            f"{SKOLEM_FUNCTION}({rule.tgd_index}, "
+                            f"{_sql_string(rule._names_json)}, "
+                            f"{_sql_string(term.name)}{witness_args})"
+                        )
+                if not expressions:
+                    expressions = ["'0'"]
+                expressions += ["''"] * (self.width - len(expressions))
+                where = [f"ch.pred = {self._tag[body.predicate.name]}", "ch.round < :cap"]
+                where.extend(conditions)
+                branches.append(
+                    f"SELECT {self._tag[head.predicate.name]}, "
+                    f"{', '.join(expressions)}, ch.round + 1 "
+                    f"FROM ch WHERE {' AND '.join(where)}"
+                )
+        columns = ", ".join(["pred"] + key_columns)
+        return (
+            f"WITH RECURSIVE ch(pred, {', '.join(key_columns)}, round) AS ("
+            + " UNION ".join(branches)
+            + f") INSERT INTO {self.ATOMS_TABLE} ({columns}, min_round) "
+            f"SELECT {columns}, MIN(round) FROM ch GROUP BY {columns}"
+        )
+
+    def _compile_trigger_count(self, rule: CompiledRule) -> str:
+        """Distinct firing keys of *rule* among rows up to ``:cutoff``."""
+        body = rule.tgd.body[0]
+        first_position: Dict[Variable, int] = {}
+        conditions: List[str] = []
+        for position, term in enumerate(body.terms):
+            if term in first_position:
+                conditions.append(f"k{position} = k{first_position[term]}")
+            else:
+                first_position[term] = position
+        witness_columns = [f"k{first_position[v]}" for v in rule.witness] or ["1"]
+        where = [f"pred = {self._tag[body.predicate.name]}", "min_round <= :cutoff"]
+        where.extend(conditions)
+        return (
+            f"SELECT COUNT(*) FROM (SELECT DISTINCT {', '.join(witness_columns)} "
+            f"FROM {self.ATOMS_TABLE} WHERE {' AND '.join(where)})"
+        )
+
+    def run(self, limits, on_limit: str, variant: str):
+        from ...chase.result import ChaseResult
+
+        store = self.store
+        base_seq = store.current_seq()
+        base_total = store.atom_count()
+        if limits.max_rounds is not None:
+            cap = min(_CTE_INITIAL_CAP, limits.max_rounds)
+        else:
+            cap = _CTE_INITIAL_CAP
+        while True:
+            store.bulk_apply(f"DELETE FROM {self.ATOMS_TABLE}")
+            store.bulk_apply(self.cte_sql, {**self._params, "cap": cap})
+            counts = dict(
+                store.query(
+                    f"SELECT min_round, COUNT(*) FROM {self.ATOMS_TABLE} "
+                    "WHERE min_round > 0 GROUP BY min_round"
+                )
+            )
+            outcome = self._replay_budget(counts, cap, limits, base_total)
+            if outcome is not None:
+                stop_reason, terminated, rounds, atoms_created = outcome
+                break
+            # Inconclusive: a fixpoint was observed only *at* the cap, so
+            # deeper rows may exist.  Grow and rerun (bounded runs are
+            # conclusive once cap == max_rounds, so this never loops).
+            if limits.max_rounds is not None:
+                cap = min(cap * _CTE_CAP_GROWTH, limits.max_rounds)
+            else:
+                cap *= _CTE_CAP_GROWTH
+
+        triggers_fired = 0
+        cutoff = rounds if stop_reason == "fixpoint" else rounds - 1
+        if cutoff >= 0:
+            for count_sql in self._count_sqls:
+                triggers_fired += store.query(
+                    count_sql, {**self._params, "cutoff": cutoff}
+                )[0][0]
+
+        if rounds > 0:
+            for predicate in self.predicates:
+                arity = predicate.arity
+                value_exprs = [f"k{i}" for i in range(arity)] if arity else ["k0"]
+                columns = store._columns(arity)
+                guard = store.insert_guard(predicate, value_exprs)
+                guard_clause = f" AND {guard}" if guard else ""
+                store.bulk_apply(
+                    f"INSERT OR IGNORE INTO {_quote(table_name(predicate.name))} "
+                    f"({', '.join(columns)}, seq) "
+                    f"SELECT {', '.join(value_exprs)}, :base + min_round "
+                    f"FROM {self.ATOMS_TABLE} "
+                    f"WHERE pred = :pred AND min_round BETWEEN 1 AND :stop"
+                    f"{guard_clause}",
+                    {"base": base_seq, "pred": predicate.name, "stop": rounds},
+                    predicate=predicate,
+                )
+            store.advance_seq(base_seq + rounds)
+        store.flush()
+        if stop_reason != "fixpoint":
+            return _limit_stopped(
+                variant, store, rounds, atoms_created, triggers_fired,
+                stop_reason, on_limit,
+            )
+        return ChaseResult(
+            terminated=terminated,
+            rounds=rounds,
+            atoms_created=atoms_created,
+            triggers_fired=triggers_fired,
+            stop_reason=stop_reason,
+            store=store,
+        )
+
+    @staticmethod
+    def _replay_budget(counts: Dict[int, int], cap: int, limits, base_total: int):
+        """Replay the serial loop's budget checks over per-round row counts.
+
+        Returns ``(stop_reason, terminated, rounds, atoms_created)`` when
+        the verdict is conclusive under this *cap*, else ``None`` (a
+        fixpoint seen only because the recursion was truncated).
+        """
+        rounds = 0
+        atoms_created = 0
+        total = base_total
+        while True:
+            if limits.round_budget_exceeded(rounds + 1):
+                return ("max_rounds", False, rounds, atoms_created)
+            new = counts.get(rounds + 1, 0)
+            if new == 0:
+                if rounds + 1 <= cap:
+                    return ("fixpoint", True, rounds, atoms_created)
+                return None
+            rounds += 1
+            atoms_created += new
+            total += new
+            if limits.atom_budget_exceeded(total):
+                return ("max_atoms", False, rounds, atoms_created)
+
+
+class CompiledPlanQuery:
+    """Partition-aware body join for one (TGD, seed slot) — the parallel
+    worker's matching unit under ``--strategy sql-pushdown``.
+
+    Selects one column per body variable (first occurrence), exactly like
+    :class:`.plans.CompiledBodyQuery`, but (a) reads every relation through
+    :meth:`SqliteAtomStore.read_source` so overlay replicas resolve to
+    base-snapshot + delta, (b) watermarks the seed slot by the worker's own
+    ``seq`` snapshot for semi-naive delta rounds, and (c) filters seed rows
+    to the worker's hash partition with the same ``repro_partition``
+    function (and the same hash-all-columns convention for an empty
+    position list) the stores use in ``atoms_partition`` — so a worker
+    enumerates exactly the homomorphisms whose seed atom it owns.
+    """
+
+    __slots__ = (
+        "tgd",
+        "seed_slot",
+        "variables",
+        "body_predicates",
+        "_initial_sql",
+        "_delta_sql",
+        "_partitioned",
+    )
+
+    def __init__(self, tgd, seed_slot: int, partition_positions, store: SqliteAtomStore,
+                 partitioned: bool):
+        self.tgd = tgd
+        self.seed_slot = seed_slot
+        self._partitioned = partitioned
+        self.body_predicates = tuple(atom.predicate for atom in tgd.body)
+        # Create the body relations up front: read_source() is rendered
+        # *now*, and an overlay replica resolves a predicate to its
+        # base-snapshot + main-delta union only once the main delta table
+        # exists — without this, SQL compiled before the first delta round
+        # would keep reading the base snapshot alone.
+        for atom in tgd.body:
+            store.create_relation(atom.predicate)
+        # Pre-build the join indexes the compiled scans will probe.
+        occurrences: Dict[Variable, int] = {}
+        for atom in tgd.body:
+            for term in atom.terms:
+                occurrences[term] = occurrences.get(term, 0) + 1
+        for atom in tgd.body:
+            for position, term in enumerate(atom.terms):
+                if position > 0 and occurrences.get(term, 0) > 1:
+                    store._ensure_position_index(atom.predicate, position)
+
+        first_seen: Dict[Variable, str] = {}
+        conditions: List[str] = []
+        for slot, atom in enumerate(tgd.body):
+            for position, term in enumerate(atom.terms):
+                column = f"t{slot}.c{position}"
+                if term in first_seen:
+                    conditions.append(f"{column} = {first_seen[term]}")
+                else:
+                    first_seen[term] = column
+        self.variables: Tuple[Variable, ...] = tuple(first_seen)
+        select = ", ".join(first_seen.values()) or "1"
+        tables = ", ".join(
+            f"{store.read_source(atom.predicate)} AS t{slot}"
+            for slot, atom in enumerate(tgd.body)
+        )
+
+        if partitioned:
+            seed_atom = tgd.body[seed_slot]
+            if partition_positions:
+                hash_columns = [f"t{seed_slot}.c{p}" for p in partition_positions]
+            elif seed_atom.predicate.arity:
+                # Empty position list = hash every column, the stores'
+                # atoms_partition convention.
+                hash_columns = [
+                    f"t{seed_slot}.c{p}" for p in range(seed_atom.predicate.arity)
+                ]
+            else:
+                hash_columns = []
+            arguments = "".join(f", {column}" for column in hash_columns)
+            conditions.append(
+                f"repro_partition(:n_workers{arguments}) = :worker_id"
+            )
+
+        initial_conditions = list(conditions)
+        delta_conditions = list(conditions)
+        for slot in range(len(tgd.body)):
+            if slot == seed_slot:
+                delta_conditions.append(f"t{slot}.seq > :delta_start")
+            elif slot < seed_slot:
+                delta_conditions.append(f"t{slot}.seq <= :delta_start")
+        initial_where = (
+            f" WHERE {' AND '.join(initial_conditions)}" if initial_conditions else ""
+        )
+        self._initial_sql = f"SELECT {select} FROM {tables}{initial_where}"
+        self._delta_sql = (
+            f"SELECT {select} FROM {tables} WHERE {' AND '.join(delta_conditions)}"
+        )
+
+    def _rows(self, store: SqliteAtomStore, sql: str, parameters: Dict) -> Iterator[Dict]:
+        if not all(store.has_relation(p) for p in self.body_predicates):
+            return
+        for row in store.query(sql, parameters):
+            yield {
+                variable: decode_value(value)
+                for variable, value in zip(self.variables, row)
+            }
+
+    def initial_matches(self, store: SqliteAtomStore, n_workers: int, worker_id: int) -> Iterator[Dict]:
+        """All body homomorphisms whose seed atom this worker owns."""
+        parameters: Dict = {}
+        if self._partitioned:
+            parameters = {"n_workers": n_workers, "worker_id": worker_id}
+        return self._rows(store, self._initial_sql, parameters)
+
+    def delta_matches(self, store: SqliteAtomStore, delta_start: int, n_workers: int,
+                      worker_id: int) -> Iterator[Dict]:
+        """Owned homomorphisms whose seed atom is newer than *delta_start*."""
+        parameters: Dict = {"delta_start": delta_start}
+        if self._partitioned:
+            parameters["n_workers"] = n_workers
+            parameters["worker_id"] = worker_id
+        return self._rows(store, self._delta_sql, parameters)

@@ -59,7 +59,18 @@ from __future__ import annotations
 import os
 import sqlite3
 import threading
-from typing import Collection, Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+from typing import (
+    Collection,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 from urllib.parse import quote
 
 from ...core.atoms import Atom
@@ -173,6 +184,16 @@ class SqliteAtomStore:
                 # consistent if the process dies mid-transaction.
                 self._connection.execute("PRAGMA journal_mode=WAL")
                 self._connection.execute("PRAGMA synchronous=NORMAL")
+            # Bulk-write tuning.  A negative cache_size is KiB (16 MiB page
+            # cache: the compiled pushdown statements join whole relations
+            # per round, so the default 2 MiB cache thrashes first);
+            # temp_store=MEMORY keeps the pushdown staging tables and sort
+            # spills off the filesystem.  Neither pragma weakens durability
+            # — commits still go through WAL + synchronous=NORMAL — so the
+            # crash-resume contract of persistent stores is unchanged (the
+            # store contract harness pins this).
+            self._connection.execute("PRAGMA cache_size=-16384")
+            self._connection.execute("PRAGMA temp_store=MEMORY")
             self._connection.execute(
                 f"CREATE TABLE IF NOT EXISTS {CATALOG_TABLE} "
                 "(name TEXT PRIMARY KEY, arity INTEGER NOT NULL)"
@@ -260,6 +281,81 @@ class SqliteAtomStore:
     def current_seq(self) -> int:
         """The insertion-sequence watermark (the semi-naive round boundary)."""
         return self._seq
+
+    def advance_seq(self, seq: int) -> None:
+        """Raise the sequence watermark after compiled bulk writes.
+
+        The pushdown executor stamps a whole round's inserts with one
+        explicit ``seq`` value through :meth:`bulk_apply` (bypassing
+        :meth:`add_atom`'s per-row counter); it then advances the watermark
+        here so later :meth:`add_atom` calls and reopened stores
+        (``MAX(seq)`` in :meth:`_load_catalog`) stay consistent.  Never
+        moves the watermark backwards.
+        """
+        if seq > self._seq:
+            self._seq = seq
+
+    # ------------------------------------------------------------------ #
+    # Compiled-statement entry points (the sql-pushdown strategy)
+
+    def read_source(self, predicate: Predicate) -> str:
+        """Return the SQL source reading *predicate*'s relation.
+
+        For a plain store this is simply the quoted table name; the overlay
+        store overrides it with a two-schema union subquery.  Compiled
+        pushdown statements must reference relations through this hook —
+        a bare table name silently resolves against the wrong schema on an
+        overlay (SQLite resolves unqualified names temp → main → attached,
+        so a ``main`` delta table would shadow the attached base relation).
+        The relation must already exist (:meth:`create_relation`).
+        """
+        return _quote(table_name(predicate.name))
+
+    def insert_guard(self, predicate: Predicate, value_exprs: Sequence[str]) -> str:
+        """Extra ``WHERE`` fragment deduplicating compiled inserts.
+
+        *value_exprs* are the SQL expressions producing the row's value
+        columns in the inserting ``SELECT``.  A plain store needs no guard
+        (the per-relation ``UNIQUE`` index plus ``INSERT OR IGNORE``
+        already dedups); the overlay store returns a ``NOT EXISTS``
+        anti-join against the read-only base snapshot, whose rows the
+        ``main``-side unique index cannot see.
+        """
+        return ""
+
+    def query(self, sql: str, parameters=()) -> List[Tuple]:
+        """Run one read statement under the connection lock; fetch all rows.
+
+        The entry point for compiled pushdown reads (trigger-witness
+        enumeration, ``EXPLAIN QUERY PLAN`` introspection): callers never
+        touch the connection directly, so the one-thread-in-SQLite
+        invariant of the store holds for them too.
+        """
+        with self._connection_lock:
+            return self._connection.execute(sql, parameters).fetchall()
+
+    def bulk_apply(
+        self, sql: str, parameters=(), predicate: Optional[Predicate] = None
+    ) -> int:
+        """Run one compiled write statement inside the store transaction.
+
+        Returns the number of rows the statement actually changed — a
+        ``total_changes`` delta, so an ``INSERT OR IGNORE ... SELECT``
+        reports only the genuinely new rows, exactly the quantity the
+        chase's ``atoms_created`` accounting needs.  When *predicate* is
+        given, the cached per-relation row count is advanced by the same
+        amount (the statement is expected to target that relation).
+        """
+        with self._connection_lock:
+            self._begin()
+            before = self._connection.total_changes
+            self._connection.execute(sql, parameters)
+            changed = self._connection.total_changes - before
+            if predicate is not None and changed > 0:
+                self._counts[predicate.name] = (
+                    self._counts.get(predicate.name, 0) + changed
+                )
+            return changed
 
     # ------------------------------------------------------------------ #
     # Schema management
@@ -698,6 +794,52 @@ class SqliteOverlayStore(SqliteAtomStore):
                 f"ON {_quote(table)} (c{position})"
             )
             self._indexed.add((predicate.name, position))
+
+    # ------------------------------------------------------------------ #
+    # Compiled-statement entry points (two-schema variants)
+
+    def read_source(self, predicate: Predicate) -> str:
+        """The union of the base snapshot and the main delta, as one source.
+
+        Compiled pushdown joins reference this as a derived table, so the
+        semi-naive ``seq`` watermarks apply across both schemas: base rows
+        keep their snapshot-bounded sequence numbers, delta rows continue
+        above them (``__init__`` starts the overlay's watermark at the base
+        snapshot).
+        """
+        table = _quote(table_name(predicate.name))
+        columns = ", ".join(self._columns(predicate.arity) + ["seq"])
+        in_base = predicate.name in self._base_predicates
+        in_main = predicate.name in self._main_relations
+        if in_base and in_main:
+            return (
+                f"(SELECT {columns} FROM base.{table} "
+                f"WHERE seq <= {self._base_snapshot_seq} "
+                f"UNION ALL SELECT {columns} FROM main.{table})"
+            )
+        if in_base:
+            return (
+                f"(SELECT {columns} FROM base.{table} "
+                f"WHERE seq <= {self._base_snapshot_seq})"
+            )
+        return f"main.{table}"
+
+    def insert_guard(self, predicate: Predicate, value_exprs: Sequence[str]) -> str:
+        """Anti-join against the read-only base: writes only land in main,
+        so the main-side ``UNIQUE`` index cannot see base rows — the same
+        dedup :meth:`add_atom` does per-row, as one set-based clause."""
+        if predicate.name not in self._base_predicates:
+            return ""
+        table = _quote(table_name(predicate.name))
+        conditions = [
+            f"b.{column} = {expression}"
+            for column, expression in zip(self._columns(predicate.arity), value_exprs)
+        ]
+        conditions.append(f"b.seq <= {self._base_snapshot_seq}")
+        return (
+            f"NOT EXISTS (SELECT 1 FROM base.{table} AS b "
+            f"WHERE {' AND '.join(conditions)})"
+        )
 
     # ------------------------------------------------------------------ #
     # Read targets: the base snapshot plus the main delta

@@ -29,7 +29,9 @@ from tests.helpers import chase_result_fingerprint as _fingerprint
 VARIANTS = ("oblivious", "semi-oblivious", "restricted")
 #: Every valid (strategy, backend) pairing — "sql" compiles the body join
 #: into SQLite and exists only on the sqlite backend, where its seq-watermark
-#: slot constraints must reproduce these exact pinned semantics.
+#: slot constraints must reproduce these exact pinned semantics;
+#: "sql-pushdown" goes further and applies whole set-based rounds (and, for
+#: the linear cases here, the recursive-CTE fixpoint tier) inside SQLite.
 STRATEGY_BACKEND_COMBOS = (
     ("naive", "instance"),
     ("naive", "relational"),
@@ -38,6 +40,7 @@ STRATEGY_BACKEND_COMBOS = (
     ("indexed", "relational"),
     ("indexed", "sqlite"),
     ("sql", "sqlite"),
+    ("sql-pushdown", "sqlite"),
 )
 LIMITS = ChaseLimits(max_atoms=500, max_rounds=20)
 
@@ -128,6 +131,31 @@ class TestEdgeCaseGrid:
             )
             assert _fingerprint(result) == expected, (
                 f"{case}: parallel workers={workers}/{executor} disagrees"
+            )
+
+    @pytest.mark.parametrize("case", [case[0] for case in EDGE_CASES])
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_parallel_pushdown_agrees(self, case, variant):
+        # The sql-pushdown matching worker: compiled partition-filtered SQL
+        # joins must own exactly the same (entry, seed atom) pairs the
+        # coordinator would have routed, on these same edge cases.
+        database, tgds = _load(case)
+        expected = _fingerprint(
+            chase(database, tgds, variant=variant, strategy="naive", limits=LIMITS)
+        )
+        for workers, executor in ((2, "serial"), (3, "thread")):
+            result = parallel_chase(
+                database,
+                tgds,
+                variant=variant,
+                workers=workers,
+                limits=LIMITS,
+                backend="sqlite",
+                executor=executor,
+                strategy="sql-pushdown",
+            )
+            assert _fingerprint(result) == expected, (
+                f"{case}: pushdown workers={workers}/{executor} disagrees"
             )
 
 

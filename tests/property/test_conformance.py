@@ -9,7 +9,9 @@ Three families of properties, all over random programs from
   trigger counts, and the exact instance, null names included;
 * **backend conformance** — the relational and sqlite stores chase to the
   same result as the in-memory instance, serial and parallel, and the
-  pushed-down ``"sql"`` trigger strategy agrees with the in-memory engines;
+  pushed-down ``"sql"`` and ``"sql-pushdown"`` strategies (per-binding SQL
+  joins and whole compiled set-based rounds, respectively) agree with the
+  in-memory engines;
   lazy results (``materialize=False``) stay byte-identical to eager ones,
   both read through the store view and after on-demand materialization;
 * **oracle conformance** — on inputs where the materialization baseline is
@@ -178,6 +180,59 @@ class TestEngineConformance:
                 parallel,
                 expected,
                 f"sqlite parallel(workers={workers}, executor={executor})",
+            )
+
+    @given(chase_programs(), st.sampled_from(VARIANTS))
+    def test_sql_pushdown_conforms(self, program, variant):
+        """The compiled set-based strategy: whole rounds (or, for linear
+        rules, the whole fixpoint as one recursive CTE) execute inside
+        SQLite with in-SQL null invention — and the ChaseResult must stay
+        byte-identical to the in-memory instance chase, counts and null
+        names included, serially and across every worker pool kind."""
+        database, tgds = program
+        note(describe_program(database, tgds))
+        expected = fingerprint(
+            chase(database, tgds, variant=variant, limits=LIMITS)
+        )
+
+        pushed = chase(
+            database,
+            tgds,
+            variant=variant,
+            limits=LIMITS,
+            backend="sqlite",
+            strategy="sql-pushdown",
+        )
+        assert fingerprint(pushed) == expected, "sql-pushdown serial != instance"
+        assert pushed.store.atom_count() == len(pushed.instance)
+
+        lazy = chase(
+            database,
+            tgds,
+            variant=variant,
+            limits=LIMITS,
+            backend="sqlite",
+            strategy="sql-pushdown",
+            materialize=False,
+        )
+        assert_lazy_matches(lazy, expected, "sql-pushdown lazy")
+
+        for workers, executor in ((2, "serial"), (3, "thread"), (2, "process")):
+            parallel = parallel_chase(
+                database,
+                tgds,
+                variant=variant,
+                workers=workers,
+                limits=LIMITS,
+                backend="sqlite",
+                executor=executor,
+                strategy="sql-pushdown",
+                materialize=False,
+            )
+            assert_lazy_matches(
+                parallel,
+                expected,
+                f"sql-pushdown parallel(workers={workers}, executor={executor})",
             )
 
 
