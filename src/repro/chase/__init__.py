@@ -12,7 +12,6 @@ from .engine import (
     resolve_engine_class,
     satisfies,
 )
-from .parallel import EXECUTORS, ParallelChaseExecutor, parallel_chase
 from .matching import (
     STRATEGIES,
     IndexedTriggerSource,
@@ -23,6 +22,7 @@ from .matching import (
     homomorphisms_indexed,
     make_trigger_source,
 )
+from .parallel import EXECUTORS, ParallelChaseExecutor, parallel_chase
 from .result import ChaseLimits, ChaseResult
 from .triggers import Trigger, trigger_count, triggers_on
 

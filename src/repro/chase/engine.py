@@ -178,7 +178,11 @@ class ChaseEngine:
                     stop_reason="fixpoint",
                     store=store,
                 )
-            for atom in new_atoms:
+            # Insert in sorted order: set iteration is hash-salted, and the
+            # store assigns monotone seq numbers at insertion, so unsorted
+            # insertion would make seq watermarks (and any seq-ordered read)
+            # vary run to run.
+            for atom in sorted(new_atoms):
                 store.add_atom(atom)
             flush = getattr(store, "flush", None)
             if flush is not None:

@@ -248,6 +248,7 @@ class IndexedTriggerSource(TriggerSource):
 
     def delta(self, store, new_atoms: Iterable[Atom]) -> Iterator[Trigger]:
         delta = new_atoms if isinstance(new_atoms, (set, frozenset)) else set(new_atoms)
+        # reprolint: disable=determinism -- trigger enumeration order cannot reach results: engines dedupe by firing key, nulls are content-addressed, and round inserts are sorted; sorting the delta here would tax the hot matching path
         for atom in delta:
             for index, tgd, plan in self._slots.get(atom.predicate, ()):
                 for mapping in plan.matches(store, atom, delta=delta):

@@ -50,15 +50,18 @@ from __future__ import annotations
 import multiprocessing
 import traceback
 from concurrent import futures
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from multiprocessing.connection import Connection
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.atoms import Atom
 from ..core.indexing import atom_partition_of
 from ..core.instances import Database, Instance
+from ..core.predicates import Predicate
 from ..core.substitutions import Substitution
-from ..core.terms import Null, NullFactory
+from ..core.terms import Null, NullFactory, Term
 from ..core.tgds import TGD, TGDSet
 from ..exceptions import ChaseLimitExceeded
+from ..storage.atom_store import AtomStore
 from .engine import ChaseEngine, make_backend_store, resolve_engine_class
 from .matching import JoinPlan
 from .result import ChaseLimits, ChaseResult
@@ -78,7 +81,7 @@ class _PlanEntry:
 
     __slots__ = ("plan_id", "tgd_index", "tgd", "plan")
 
-    def __init__(self, plan_id: int, tgd_index: int, tgd: TGD, plan: JoinPlan):
+    def __init__(self, plan_id: int, tgd_index: int, tgd: TGD, plan: JoinPlan) -> None:
         self.plan_id = plan_id
         self.tgd_index = tgd_index
         self.tgd = tgd
@@ -93,7 +96,7 @@ class _PlanTable:
     agree on what every ``plan_id`` in a work item refers to.
     """
 
-    def __init__(self, tgds: Sequence[TGD]):
+    def __init__(self, tgds: Sequence[TGD]) -> None:
         self.tgds = tuple(tgds)
         self.entries: List[_PlanEntry] = []
         self.by_predicate: Dict[object, List[_PlanEntry]] = {}
@@ -119,7 +122,14 @@ class _MatchWorker:
     coordinator still performs the authoritative cross-worker dedup.
     """
 
-    def __init__(self, worker_id: int, n_workers: int, tgds: Sequence[TGD], variant: str, store):
+    def __init__(
+        self,
+        worker_id: int,
+        n_workers: int,
+        tgds: Sequence[TGD],
+        variant: str,
+        store: AtomStore,
+    ) -> None:
         self.worker_id = worker_id
         self.n_workers = n_workers
         self.store = store
@@ -176,7 +186,13 @@ class _MatchWorker:
                 self._consider(entry, mapping, considered, fired)
         return considered, fired
 
-    def _consider(self, entry: _PlanEntry, mapping, considered, fired) -> None:
+    def _consider(
+        self,
+        entry: _PlanEntry,
+        mapping: Dict[Term, Term],
+        considered: List[object],
+        fired: List[Tuple[object, Tuple[Atom, ...]]],
+    ) -> None:
         trigger = Trigger(entry.tgd, entry.tgd_index, Substitution(mapping))
         key = self.policy._firing_key(trigger)
         if key in self.reported_keys:
@@ -205,7 +221,14 @@ class PushdownMatchWorker(_MatchWorker):
     atom) pairs this worker owns.
     """
 
-    def __init__(self, worker_id: int, n_workers: int, tgds: Sequence[TGD], variant: str, store):
+    def __init__(
+        self,
+        worker_id: int,
+        n_workers: int,
+        tgds: Sequence[TGD],
+        variant: str,
+        store: AtomStore,
+    ) -> None:
         super().__init__(worker_id, n_workers, tgds, variant, store)
         from ..storage.sqlbackend import SqliteAtomStore
         from ..storage.sqlbackend.pushdown import CompiledPlanQuery
@@ -265,7 +288,14 @@ class PushdownMatchWorker(_MatchWorker):
         return considered, fired
 
 
-def _make_match_worker(strategy: str, worker_id: int, n_workers: int, tgds, variant: str, store):
+def _make_match_worker(
+    strategy: str,
+    worker_id: int,
+    n_workers: int,
+    tgds: Sequence[TGD],
+    variant: str,
+    store: AtomStore,
+) -> _MatchWorker:
     """Build the per-partition worker for *strategy* (indexed or pushdown)."""
     if strategy == "sql-pushdown":
         return PushdownMatchWorker(worker_id, n_workers, tgds, variant, store)
@@ -285,7 +315,14 @@ class _SerialPool:
     determinism tests lean on.
     """
 
-    def __init__(self, workers: int, tgds, variant, store, strategy: str = "indexed"):
+    def __init__(
+        self,
+        workers: int,
+        tgds: Sequence[TGD],
+        variant: str,
+        store: AtomStore,
+        strategy: str = "indexed",
+    ) -> None:
         self.workers = workers
         self._match_workers = [
             _make_match_worker(strategy, worker_id, workers, tgds, variant, store)
@@ -295,7 +332,11 @@ class _SerialPool:
     def initial(self) -> List[RoundReport]:
         return [worker.initial_round() for worker in self._match_workers]
 
-    def delta(self, delta_atoms, work_by_worker) -> List[RoundReport]:
+    def delta(
+        self,
+        delta_atoms: Sequence[Atom],
+        work_by_worker: Sequence[Sequence[Tuple[int, int]]],
+    ) -> List[RoundReport]:
         return [
             worker.delta_round(
                 delta_atoms, work_by_worker[worker.worker_id], apply_delta=False
@@ -316,7 +357,14 @@ class _ThreadPool:
     so no lazily-built index is constructed concurrently.
     """
 
-    def __init__(self, workers: int, tgds, variant, store, strategy: str = "indexed"):
+    def __init__(
+        self,
+        workers: int,
+        tgds: Sequence[TGD],
+        variant: str,
+        store: AtomStore,
+        strategy: str = "indexed",
+    ) -> None:
         self.workers = workers
         self._pool = futures.ThreadPoolExecutor(max_workers=workers)
         self._match_workers = [
@@ -331,7 +379,11 @@ class _ThreadPool:
         ]
         return [future.result() for future in submitted]
 
-    def delta(self, delta_atoms, work_by_worker) -> List[RoundReport]:
+    def delta(
+        self,
+        delta_atoms: Sequence[Atom],
+        work_by_worker: Sequence[Sequence[Tuple[int, int]]],
+    ) -> List[RoundReport]:
         submitted = [
             self._pool.submit(
                 worker.delta_round, delta_atoms, work_by_worker[worker.worker_id], False
@@ -348,7 +400,9 @@ class _ThreadPool:
 # Out-of-core replica seeding
 
 
-def replica_seed_split(tgds: Sequence[TGD], variant: str):
+def replica_seed_split(
+    tgds: Sequence[TGD], variant: str
+) -> Tuple[Set[Predicate], Set[Predicate]]:
     """Split the TGDs' predicates by what a process replica needs of them.
 
     Returns ``(full, partitioned)``:
@@ -366,8 +420,8 @@ def replica_seed_split(tgds: Sequence[TGD], variant: str):
     Predicates in neither set are never read by replica-side matching and
     are not shipped at all.
     """
-    full = set()
-    partitioned = set()
+    full: Set[Predicate] = set()
+    partitioned: Set[Predicate] = set()
     for tgd in tgds:
         if len(tgd.body) > 1:
             full.update(atom.predicate for atom in tgd.body)
@@ -379,7 +433,7 @@ def replica_seed_split(tgds: Sequence[TGD], variant: str):
 
 
 def worker_seed_atoms(
-    store,
+    store: AtomStore,
     tgds: Sequence[TGD],
     variant: str,
     n_workers: int,
@@ -412,7 +466,9 @@ def worker_seed_atoms(
     return sorted(atoms)
 
 
-def collect_full_seed_atoms(store, full_predicates) -> List[Atom]:
+def collect_full_seed_atoms(
+    store: AtomStore, full_predicates: Iterable[Predicate]
+) -> List[Atom]:
     """Scan the fully-replicated relations once (shared by every worker)."""
     atoms: List[Atom] = []
     for predicate in full_predicates:
@@ -426,7 +482,7 @@ def collect_full_seed_atoms(store, full_predicates) -> List[Atom]:
 SEED_CHUNK_ATOMS = 4096
 
 
-def _seed_chunks(atoms: Sequence[Atom]):
+def _seed_chunks(atoms: Sequence[Atom]) -> Iterator[Tuple[Atom, ...]]:
     for start in range(0, len(atoms), SEED_CHUNK_ATOMS):
         yield tuple(atoms[start:start + SEED_CHUNK_ATOMS])
 
@@ -436,7 +492,7 @@ def _seed_chunks(atoms: Sequence[Atom]):
 _INDEX_PROBE = Null("__index_probe__")
 
 
-def _warm_position_indexes(store, tgds: Sequence[TGD]) -> None:
+def _warm_position_indexes(store: AtomStore, tgds: Sequence[TGD]) -> None:
     """Force-build the position indexes the TGDs' predicates will need.
 
     ``atoms_matching`` builds a predicate's index lazily on first use; doing
@@ -451,7 +507,7 @@ def _warm_position_indexes(store, tgds: Sequence[TGD]) -> None:
                 store.atoms_matching(atom.predicate, {0: _INDEX_PROBE})
 
 
-def _open_replica_store(store_spec, worker_id: int):
+def _open_replica_store(store_spec: Tuple[str, ...], worker_id: int) -> AtomStore:
     """Build a worker's private store from its spec (never a live object)."""
     kind = store_spec[0]
     if kind == "relational":
@@ -476,7 +532,7 @@ def _open_replica_store(store_spec, worker_id: int):
     return Instance()
 
 
-def _add_seed_atoms(store, atoms) -> None:
+def _add_seed_atoms(store: AtomStore, atoms: Sequence[Atom]) -> None:
     add_atoms = getattr(store, "add_atoms", None)
     if add_atoms is not None:
         # Chunks arrive sorted (grouped by predicate), so the sqlite
@@ -487,7 +543,15 @@ def _add_seed_atoms(store, atoms) -> None:
             store.add_atom(atom)
 
 
-def _worker_main(conn, worker_id, n_workers, tgds, variant, store_spec, strategy="indexed") -> None:
+def _worker_main(
+    conn: Connection,
+    worker_id: int,
+    n_workers: int,
+    tgds: Sequence[TGD],
+    variant: str,
+    store_spec: Tuple[str, ...],
+    strategy: str = "indexed",
+) -> None:
     """Entry point of a process worker: build the replica, serve rounds.
 
     The replica is seeded by ``("seed", chunk)`` messages (streamed by the
@@ -537,12 +601,19 @@ class _ProcessPool:
     saw rounds ``< i``.
     """
 
-    def __init__(self, workers: int, tgds, variant, store_spec, worker_seeds=None,
-                 strategy: str = "indexed"):
+    def __init__(
+        self,
+        workers: int,
+        tgds: Sequence[TGD],
+        variant: str,
+        store_spec: Tuple[str, ...],
+        worker_seeds: Optional[Callable[[int], List[Atom]]] = None,
+        strategy: str = "indexed",
+    ) -> None:
         self.workers = workers
         context = multiprocessing.get_context()
-        self._connections = []
-        self._processes = []
+        self._connections: List[Connection] = []
+        self._processes: List[multiprocessing.process.BaseProcess] = []
         try:
             for worker_id in range(workers):
                 parent_conn, child_conn = context.Pipe()
@@ -572,7 +643,7 @@ class _ProcessPool:
             raise
 
     def _collect(self) -> List[RoundReport]:
-        reports = []
+        reports: List[RoundReport] = []
         for connection in self._connections:
             status, payload = connection.recv()
             if status != "ok":
@@ -585,7 +656,11 @@ class _ProcessPool:
             connection.send(("initial",))
         return self._collect()
 
-    def delta(self, delta_atoms, work_by_worker) -> List[RoundReport]:
+    def delta(
+        self,
+        delta_atoms: Sequence[Atom],
+        work_by_worker: Sequence[Sequence[Tuple[int, int]]],
+    ) -> List[RoundReport]:
         for worker_id, connection in enumerate(self._connections):
             connection.send(("delta", delta_atoms, work_by_worker[worker_id]))
         return self._collect()
@@ -626,7 +701,7 @@ class ParallelChaseExecutor:
         on_limit: str = "return",
         executor: str = "auto",
         strategy: str = "indexed",
-    ):
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if on_limit not in ("return", "raise"):
@@ -648,7 +723,9 @@ class ParallelChaseExecutor:
 
     # ------------------------------------------------------------------ #
 
-    def _make_pool(self, tgds, store):
+    def _make_pool(
+        self, tgds: Sequence[TGD], store: AtomStore
+    ) -> Union["_SerialPool", "_ThreadPool", "_ProcessPool"]:
         from ..storage.database import RelationalDatabase
         from ..storage.sqlbackend import SqliteAtomStore
 
@@ -720,7 +797,9 @@ class ParallelChaseExecutor:
                 work[owner].append((entry.plan_id, delta_index))
         return work
 
-    def run(self, database: Database, tgds: TGDSet, store=None) -> ChaseResult:
+    def run(
+        self, database: Database, tgds: TGDSet, store: Optional[AtomStore] = None
+    ) -> ChaseResult:
         """Run the parallel chase; same contract as :meth:`ChaseEngine.run`."""
         tgd_list = tuple(tgds)
         if store is None:
@@ -780,7 +859,10 @@ class ParallelChaseExecutor:
                         stop_reason="fixpoint",
                         store=store,
                     )
-                for atom in new_atoms:
+                # Sort once, then both insert and broadcast in that order:
+                # seq assignment must not depend on set iteration order.
+                delta = sorted(new_atoms)
+                for atom in delta:
                     store.add_atom(atom)
                 flush = getattr(store, "flush", None)
                 if flush is not None:
@@ -792,11 +874,17 @@ class ParallelChaseExecutor:
                     return self._stopped(
                         store, rounds, atoms_created, triggers_fired, "max_atoms"
                     )
-                delta = sorted(new_atoms)
         finally:
             pool.close()
 
-    def _stopped(self, store, rounds, atoms_created, triggers_fired, reason) -> ChaseResult:
+    def _stopped(
+        self,
+        store: AtomStore,
+        rounds: int,
+        atoms_created: int,
+        triggers_fired: int,
+        reason: str,
+    ) -> ChaseResult:
         if self.on_limit == "raise":
             raise ChaseLimitExceeded(
                 f"{self.variant} chase exceeded its {reason} budget",
@@ -822,7 +910,7 @@ def parallel_chase(
     on_limit: str = "return",
     strategy: str = "indexed",
     backend: str = "instance",
-    store=None,
+    store: Optional[AtomStore] = None,
     executor: str = "auto",
     materialize: bool = True,
 ) -> ChaseResult:

@@ -51,13 +51,13 @@ from .chase.parallel import EXECUTORS
 from .chase.result import ChaseLimits
 from .core.instances import Database, induced_database
 from .core.parser import load_database, load_rules
+from .exceptions import ExperimentConfigError, StorageError
 from .experiments import (
     ABLATION_RUNNERS,
     ALL_RUNNERS,
     PRESETS,
     preset,
 )
-from .exceptions import ExperimentConfigError, StorageError
 from .experiments.reporting import format_table, summarize_figure, write_csv
 from .experiments.runner import SWEEP_KINDS, run_sweep, sweep_summary
 from .termination import is_chase_finite_l, is_chase_finite_sl

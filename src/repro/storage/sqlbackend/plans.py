@@ -28,7 +28,7 @@ holds the three strategies to byte-identical ``ChaseResult``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from ...core.atoms import Atom
 from ...core.substitutions import Substitution
@@ -49,7 +49,7 @@ class CompiledBodyQuery:
 
     __slots__ = ("tgd", "seed_slot", "sql", "parameters", "variables")
 
-    def __init__(self, tgd: TGD, seed_slot: Optional[int]):
+    def __init__(self, tgd: TGD, seed_slot: Optional[int]) -> None:
         self.tgd = tgd
         self.seed_slot = seed_slot
         select: List[str] = []
@@ -88,13 +88,15 @@ class CompiledBodyQuery:
 
     def run(self, store: SqliteAtomStore, delta_start: Optional[int]) -> Iterator[Substitution]:
         """Execute the query and yield one body homomorphism per result row."""
-        for predicate in {atom.predicate for atom in self.tgd.body}:
-            if not store.has_relation(predicate):
-                return  # an empty (never-created) relation joins to nothing
+        if not all(store.has_relation(atom.predicate) for atom in self.tgd.body):
+            return  # an empty (never-created) relation joins to nothing
         named: Dict[str, object] = dict(self.parameters)
         if delta_start is not None:
             named["delta_start"] = delta_start
-        rows = store.connection.execute(self.sql, named).fetchall()
+        # query() runs under the store's connection lock; executing on the
+        # raw connection here would bypass the one-thread-in-SQLite
+        # invariant (reprolint: lock-discipline).
+        rows = store.query(self.sql, named)
         for row in rows:
             mapping = {
                 variable: decode_value(row[index])
@@ -117,7 +119,7 @@ class SqlTriggerSource:
     ``ValueError`` (the in-memory backends use the ``"indexed"`` strategy).
     """
 
-    def __init__(self, tgds: Sequence[TGD]):
+    def __init__(self, tgds: Sequence[TGD]) -> None:
         from ...chase.triggers import Trigger  # deferred: storage must not import chase at module load
 
         self._trigger_class = Trigger
@@ -136,7 +138,7 @@ class SqlTriggerSource:
         self._last_seq: Optional[int] = None
 
     @staticmethod
-    def _check_store(store) -> SqliteAtomStore:
+    def _check_store(store: object) -> SqliteAtomStore:
         if not isinstance(store, SqliteAtomStore):
             raise ValueError(
                 "the 'sql' trigger strategy pushes joins into SQLite and "
@@ -145,7 +147,7 @@ class SqlTriggerSource:
             )
         return store
 
-    def initial(self, store) -> Iterator:
+    def initial(self, store: object) -> Iterator:
         """Enumerate every trigger on the seed store (one SQL join per TGD)."""
         sql_store = self._check_store(store)
         # Snapshot eagerly (not inside the generator): the engine consumes
@@ -153,14 +155,14 @@ class SqlTriggerSource:
         # inserted after this point is the next call's delta.
         self._last_seq = sql_store.current_seq()
 
-        def generate():
+        def generate() -> Iterator:
             for index, query in enumerate(self._initial_queries):
                 for substitution in query.run(sql_store, None):
                     yield self._trigger_class(self.tgds[index], index, substitution)
 
         return generate()
 
-    def delta(self, store, new_atoms: Iterable[Atom]) -> Iterator:
+    def delta(self, store: object, new_atoms: Iterable[Atom]) -> Iterator:
         """Enumerate the triggers created by the previous round's atoms.
 
         The delta boundary is the sequence watermark snapshotted at the
@@ -177,7 +179,7 @@ class SqlTriggerSource:
         self._last_seq = sql_store.current_seq()
         delta_predicates = {atom.predicate for atom in new_atoms}
 
-        def generate():
+        def generate() -> Iterator:
             for index, queries in enumerate(self._delta_queries):
                 for query in queries:
                     if query.tgd.body[query.seed_slot].predicate not in delta_predicates:

@@ -42,13 +42,19 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ...core.atoms import Atom
+from ...core.instances import Database
 from ...core.predicates import Predicate
-from ...core.terms import Variable
+from ...core.terms import Term, Variable
+from ...core.tgds import TGD
 from ...exceptions import ChaseLimitExceeded
 from ..relation import NULL_MARKER, decode_value
 from .store import SqliteAtomStore, _quote, table_name
+
+if TYPE_CHECKING:
+    from ...chase.result import ChaseLimits, ChaseResult
 
 #: Name of the deterministic null-inventing SQL function registered by
 #: :func:`register_skolem_function`.
@@ -81,7 +87,9 @@ def register_skolem_function(store: SqliteAtomStore, prefix: str = "n") -> None:
 
     names_cache: Dict[str, Tuple[str, ...]] = {}
 
-    def skolem(tgd_index, names_json, variable_name, *encoded_values):
+    def skolem(
+        tgd_index: int, names_json: str, variable_name: str, *encoded_values: str
+    ) -> str:
         names = names_cache.get(names_json)
         if names is None:
             names = tuple(json.loads(names_json))
@@ -122,7 +130,7 @@ class CompiledRule:
        :data:`SKOLEM_FUNCTION`.
     """
 
-    def __init__(self, tgd_index: int, tgd, variant: str, store: SqliteAtomStore):
+    def __init__(self, tgd_index: int, tgd: TGD, variant: str, store: SqliteAtomStore) -> None:
         self.tgd_index = tgd_index
         self.tgd = tgd
         self.restricted = variant == "restricted"
@@ -290,7 +298,7 @@ class CompiledRule:
             f"WHERE {' AND '.join(conditions)})"
         )
 
-    def head_expr(self, term) -> str:
+    def head_expr(self, term: Term) -> str:
         """SQL expression producing *term*'s encoded value for a key row ``w``."""
         column = self._key_of.get(term)
         if column is not None:
@@ -302,7 +310,7 @@ class CompiledRule:
             f"{witness_args})"
         )
 
-    def _compile_head_insert(self, store: SqliteAtomStore, atom) -> Tuple[str, Predicate]:
+    def _compile_head_insert(self, store: SqliteAtomStore, atom: Atom) -> Tuple[str, Predicate]:
         expressions = [self.head_expr(term) for term in atom.terms] or ["'0'"]
         columns = store._columns(atom.predicate.arity)
         source = self._firing if self.restricted else self._stage
@@ -326,11 +334,14 @@ class CompiledRule:
             {"delta_start": delta_start, "round_start": round_start},
         )
 
+    @property
+    def record_sql(self) -> str:
+        """The memoization statement (staged keys into the fired-key memo)."""
+        return f"INSERT OR IGNORE INTO {self._fired} SELECT * FROM {self._stage}"
+
     def record(self, store: SqliteAtomStore) -> None:
         """Memoize the staged keys so later rounds never re-fire them."""
-        store.bulk_apply(
-            f"INSERT OR IGNORE INTO {self._fired} SELECT * FROM {self._stage}"
-        )
+        store.bulk_apply(self.record_sql)
 
     def filter_unsatisfied(self, store: SqliteAtomStore, round_start: int) -> int:
         """Restricted check; returns the number of keys that actually fire."""
@@ -338,7 +349,15 @@ class CompiledRule:
         return store.bulk_apply(self.firing_sql, {"round_start": round_start})
 
 
-def _limit_stopped(variant, store, rounds, atoms_created, triggers_fired, reason, on_limit):
+def _limit_stopped(
+    variant: str,
+    store: SqliteAtomStore,
+    rounds: int,
+    atoms_created: int,
+    triggers_fired: int,
+    reason: str,
+    on_limit: str,
+) -> "ChaseResult":
     from ...chase.result import ChaseResult
 
     if on_limit == "raise":
@@ -375,7 +394,12 @@ class PushdownExecutor:
 
     VARIANTS = ("oblivious", "semi-oblivious", "semi_oblivious", "restricted")
 
-    def __init__(self, variant: str = "semi-oblivious", limits=None, on_limit: str = "return"):
+    def __init__(
+        self,
+        variant: str = "semi-oblivious",
+        limits: Optional["ChaseLimits"] = None,
+        on_limit: str = "return",
+    ) -> None:
         if variant not in self.VARIANTS:
             raise ValueError(
                 f"unknown chase variant {variant!r}; expected one of {self.VARIANTS}"
@@ -388,7 +412,9 @@ class PushdownExecutor:
         self.limits = limits if limits is not None else ChaseLimits()
         self.on_limit = on_limit
 
-    def run(self, database, tgds, store: SqliteAtomStore):
+    def run(
+        self, database: Database, tgds: Sequence[TGD], store: SqliteAtomStore
+    ) -> "ChaseResult":
         """Chase *database* with *tgds* into *store*; return a ChaseResult."""
         if not isinstance(store, SqliteAtomStore):
             raise ValueError(
@@ -407,7 +433,9 @@ class PushdownExecutor:
             return tier.run(self.limits, self.on_limit, self.variant)
         return self._run_rounds(rules, store)
 
-    def _run_rounds(self, rules: List[CompiledRule], store: SqliteAtomStore):
+    def _run_rounds(
+        self, rules: List[CompiledRule], store: SqliteAtomStore
+    ) -> "ChaseResult":
         """The delta-round tier: the serial loop, one statement per step."""
         from ...chase.result import ChaseResult
 
@@ -512,7 +540,7 @@ class _RecursiveCteTier:
 
     ATOMS_TABLE = "pd_cte_atoms"
 
-    def __init__(self, rules: Sequence[CompiledRule], store: SqliteAtomStore):
+    def __init__(self, rules: Sequence[CompiledRule], store: SqliteAtomStore) -> None:
         self.rules = tuple(rules)
         self.store = store
         predicates: Dict[str, Predicate] = {}
@@ -602,6 +630,24 @@ class _RecursiveCteTier:
             f"SELECT {columns}, MIN(round) FROM ch GROUP BY {columns}"
         )
 
+    def final_insert_sql(self, predicate: Predicate) -> str:
+        """The statement copying *predicate*'s CTE-derived rows into its
+        relation, with the breadth-first ``min_round`` becoming the ``seq``
+        offset so watermark semantics match the round-loop tier."""
+        arity = predicate.arity
+        value_exprs = [f"k{i}" for i in range(arity)] if arity else ["k0"]
+        columns = self.store._columns(arity)
+        guard = self.store.insert_guard(predicate, value_exprs)
+        guard_clause = f" AND {guard}" if guard else ""
+        return (
+            f"INSERT OR IGNORE INTO {_quote(table_name(predicate.name))} "
+            f"({', '.join(columns)}, seq) "
+            f"SELECT {', '.join(value_exprs)}, :base + min_round "
+            f"FROM {self.ATOMS_TABLE} "
+            f"WHERE pred = :pred AND min_round BETWEEN 1 AND :stop"
+            f"{guard_clause}"
+        )
+
     def _compile_trigger_count(self, rule: CompiledRule) -> str:
         """Distinct firing keys of *rule* among rows up to ``:cutoff``."""
         body = rule.tgd.body[0]
@@ -620,7 +666,7 @@ class _RecursiveCteTier:
             f"FROM {self.ATOMS_TABLE} WHERE {' AND '.join(where)})"
         )
 
-    def run(self, limits, on_limit: str, variant: str):
+    def run(self, limits: "ChaseLimits", on_limit: str, variant: str) -> "ChaseResult":
         from ...chase.result import ChaseResult
 
         store = self.store
@@ -661,18 +707,8 @@ class _RecursiveCteTier:
 
         if rounds > 0:
             for predicate in self.predicates:
-                arity = predicate.arity
-                value_exprs = [f"k{i}" for i in range(arity)] if arity else ["k0"]
-                columns = store._columns(arity)
-                guard = store.insert_guard(predicate, value_exprs)
-                guard_clause = f" AND {guard}" if guard else ""
                 store.bulk_apply(
-                    f"INSERT OR IGNORE INTO {_quote(table_name(predicate.name))} "
-                    f"({', '.join(columns)}, seq) "
-                    f"SELECT {', '.join(value_exprs)}, :base + min_round "
-                    f"FROM {self.ATOMS_TABLE} "
-                    f"WHERE pred = :pred AND min_round BETWEEN 1 AND :stop"
-                    f"{guard_clause}",
+                    self.final_insert_sql(predicate),
                     {"base": base_seq, "pred": predicate.name, "stop": rounds},
                     predicate=predicate,
                 )
@@ -693,7 +729,9 @@ class _RecursiveCteTier:
         )
 
     @staticmethod
-    def _replay_budget(counts: Dict[int, int], cap: int, limits, base_total: int):
+    def _replay_budget(
+        counts: Dict[int, int], cap: int, limits: "ChaseLimits", base_total: int
+    ) -> Optional[Tuple[str, bool, int, int]]:
         """Replay the serial loop's budget checks over per-round row counts.
 
         Returns ``(stop_reason, terminated, rounds, atoms_created)`` when
@@ -743,8 +781,14 @@ class CompiledPlanQuery:
         "_partitioned",
     )
 
-    def __init__(self, tgd, seed_slot: int, partition_positions, store: SqliteAtomStore,
-                 partitioned: bool):
+    def __init__(
+        self,
+        tgd: TGD,
+        seed_slot: int,
+        partition_positions: Sequence[int],
+        store: SqliteAtomStore,
+        partitioned: bool,
+    ) -> None:
         self.tgd = tgd
         self.seed_slot = seed_slot
         self._partitioned = partitioned

@@ -50,7 +50,7 @@ class _CatalogRelation:
 
     __slots__ = ("predicate",)
 
-    def __init__(self, predicate: Predicate):
+    def __init__(self, predicate: Predicate) -> None:
         self.predicate = predicate
 
 
@@ -64,20 +64,22 @@ class SqliteShapeFinder(InDatabaseShapeFinder):
     exposes the standard ``find_shapes()`` surface).
     """
 
-    def __init__(self, store: SqliteAtomStore):
+    def __init__(self, store: SqliteAtomStore) -> None:
         if not isinstance(store, SqliteAtomStore):
             raise TypeError(
                 f"SqliteShapeFinder requires a SqliteAtomStore, got {type(store).__name__}"
             )
         super().__init__(store)
 
-    def _relations(self):
+    def _relations(self) -> List[_CatalogRelation]:
         return [
             _CatalogRelation(predicate)
             for predicate in self._store.catalog_predicates()
         ]
 
-    def _shape_exists(self, relation, shape: Shape, relaxed: bool) -> bool:
+    def _shape_exists(self, relation: object, shape: Shape, relaxed: bool) -> bool:
         sql = shape_query_sqlite(shape, relaxed=relaxed)
-        (exists,) = self._store.connection.execute(sql).fetchone()
+        # query() runs under the store's connection lock, so shape probes
+        # are safe against concurrent chase writers on the same store.
+        (exists,) = self._store.query(sql)[0]
         return bool(exists)

@@ -70,6 +70,7 @@ from typing import (
     Sequence,
     Set,
     Tuple,
+    Union,
 )
 from urllib.parse import quote
 
@@ -113,7 +114,7 @@ def table_name(predicate_name: str) -> str:
     return "rel_" + "".join(encoded)
 
 
-def _partition_udf(n_partitions, *values) -> int:
+def _partition_udf(n_partitions: int, *values: str) -> int:
     """The SQL-side partition function: stable hash of encoded key values.
 
     Values arrive encoded (``_:``-prefixed nulls), so decoding restores the
@@ -141,7 +142,7 @@ class SqliteAtomStore:
         read-only ``ATTACH 'file:…?mode=ro'`` is honoured.
     """
 
-    def __init__(self, path: str = MEMORY_PATH, name: str = "sqlite", uri: bool = False):
+    def __init__(self, path: str = MEMORY_PATH, name: str = "sqlite", uri: bool = False) -> None:
         self.name = name
         self.path = path
         try:
@@ -216,7 +217,14 @@ class SqliteAtomStore:
 
     @property
     def connection(self) -> sqlite3.Connection:
-        """The underlying connection (used by the SQL trigger/shape layers)."""
+        """The underlying connection — a *setup-time* escape hatch only.
+
+        UDF registration (``repro_skolem``) and pragma tuning need the raw
+        connection before the store is shared across threads.  Runtime
+        statement execution must go through :meth:`query` /
+        :meth:`bulk_apply`, which serialize on the connection lock.
+        """
+        # reprolint: disable=lock-discipline -- setup-time escape hatch: UDF registration and pragmas run before the store is shared across threads; every runtime read/write goes through query()/bulk_apply(), which lock
         return self._connection
 
     def _load_catalog(self) -> None:
@@ -252,16 +260,17 @@ class SqliteAtomStore:
         if self._closed:
             return
         self.flush()
-        self._connection.close()
+        with self._connection_lock:
+            self._connection.close()
         self._closed = True
 
     def __enter__(self) -> "SqliteAtomStore":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         where = self.path if self.is_persistent else "memory"
         return f"SqliteAtomStore({self.name!r}, {where}, {self.atom_count()} atoms)"
 
@@ -323,7 +332,9 @@ class SqliteAtomStore:
         """
         return ""
 
-    def query(self, sql: str, parameters=()) -> List[Tuple]:
+    def query(
+        self, sql: str, parameters: Union[Sequence[object], Mapping[str, object]] = ()
+    ) -> List[Tuple]:
         """Run one read statement under the connection lock; fetch all rows.
 
         The entry point for compiled pushdown reads (trigger-witness
@@ -335,7 +346,10 @@ class SqliteAtomStore:
             return self._connection.execute(sql, parameters).fetchall()
 
     def bulk_apply(
-        self, sql: str, parameters=(), predicate: Optional[Predicate] = None
+        self,
+        sql: str,
+        parameters: Union[Sequence[object], Mapping[str, object]] = (),
+        predicate: Optional[Predicate] = None,
     ) -> int:
         """Run one compiled write statement inside the store transaction.
 
@@ -698,7 +712,7 @@ class SqliteOverlayStore(SqliteAtomStore):
     the file — the ``UNIQUE`` value index covers position 0.
     """
 
-    def __init__(self, base_path: str, name: str = "sqlite-overlay"):
+    def __init__(self, base_path: str, name: str = "sqlite-overlay") -> None:
         super().__init__(path=MEMORY_PATH, name=name, uri=True)
         self.base_path = base_path
         #: Predicates whose relation exists in the attached base file.
@@ -734,7 +748,7 @@ class SqliteOverlayStore(SqliteAtomStore):
             ) from None
         self._seq = max(self._seq, self._base_snapshot_seq)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"SqliteOverlayStore({self.name!r}, base={self.base_path}, "
             f"{self.atom_count()} atoms)"
@@ -844,7 +858,9 @@ class SqliteOverlayStore(SqliteAtomStore):
     # ------------------------------------------------------------------ #
     # Read targets: the base snapshot plus the main delta
 
-    def _read_targets(self, predicate: Predicate):
+    def _read_targets(
+        self, predicate: Predicate
+    ) -> Iterator[Tuple[str, str, Tuple[object, ...]]]:
         """Yield ``(table, extra_where, extra_params)`` covering both sides."""
         existing = self._predicates.get(predicate.name)
         if existing is None or existing.arity != predicate.arity:

@@ -3,8 +3,6 @@
 import pytest
 from hypothesis import given, settings
 
-from tests.helpers import databases, linear_tgd_sets
-
 from repro.chase.engine import (
     ObliviousChase,
     RestrictedChase,
@@ -15,6 +13,7 @@ from repro.chase.engine import (
 from repro.chase.result import ChaseLimits
 from repro.core.parser import parse_database, parse_rules
 from repro.exceptions import ChaseLimitExceeded
+from tests.helpers import databases, linear_tgd_sets
 
 
 class TestSemiObliviousChase:

@@ -3,8 +3,6 @@
 import pytest
 from hypothesis import given
 
-from tests.helpers import databases, linear_tgd_sets
-
 from repro.core.atoms import Atom
 from repro.core.instances import Database
 from repro.core.parser import parse_database, parse_rules
@@ -19,6 +17,7 @@ from repro.core.serializer import (
     serialize_tgd,
 )
 from repro.core.terms import Constant, Variable
+from tests.helpers import databases, linear_tgd_sets
 
 R = Predicate("R", 2)
 

@@ -3,8 +3,6 @@
 import pytest
 from hypothesis import given, settings
 
-from tests.helpers import databases, linear_tgd_sets
-
 from repro.core.parser import parse_database, parse_rules
 from repro.core.predicates import Predicate
 from repro.simplification.dynamic import (
@@ -15,6 +13,7 @@ from repro.simplification.dynamic import (
 )
 from repro.simplification.shapes import Shape, shapes_of_database
 from repro.simplification.static import static_simplification
+from tests.helpers import databases, linear_tgd_sets
 
 
 class TestApplicable:

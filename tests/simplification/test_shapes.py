@@ -4,8 +4,6 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from tests.helpers import databases
-
 from repro.chase.bounds import bell_number
 from repro.core.atoms import Atom
 from repro.core.parser import parse_database
@@ -26,6 +24,7 @@ from repro.simplification.shapes import (
     simplify_database,
     unique_tuple,
 )
+from tests.helpers import databases
 
 x, y, z = Variable("x"), Variable("y"), Variable("z")
 

@@ -20,6 +20,7 @@ from repro.core.parser import parse_database, parse_rules
 from repro.core.predicates import Predicate
 from repro.core.terms import Constant, Null
 from repro.exceptions import StorageError
+from repro.simplification.shapes import Shape
 from repro.storage.database import RelationalDatabase
 from repro.storage.shape_finder import InDatabaseShapeFinder
 from repro.storage.sqlbackend import (
@@ -28,9 +29,7 @@ from repro.storage.sqlbackend import (
     SqliteShapeFinder,
     shape_query_sqlite,
 )
-from repro.simplification.shapes import Shape
 from repro.termination.linear import is_chase_finite_l
-
 from tests.helpers import chase_result_fingerprint as fingerprint
 
 R = Predicate("R", 2)
@@ -267,7 +266,7 @@ class TestSqlTriggerStrategy:
     def test_thread_pool_over_a_committed_store(self, tmp_path):
         # A reopened (fully committed) store enters the thread pool with no
         # transaction open, so the worker threads' first lazy-index writes
-        # race through _begin — the transaction lock must serialise them.
+        # race through _begin — the connection lock must serialise them.
         from repro.core.instances import Database
 
         database, tgds = _program()

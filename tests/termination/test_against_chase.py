@@ -14,12 +14,11 @@ strategies, any terminating chase finishes well before the limit.
 
 from hypothesis import given, settings
 
-from tests.helpers import databases, linear_tgd_sets
-
 from repro.chase.engine import chase
 from repro.chase.result import ChaseLimits
 from repro.termination.linear import is_chase_finite_l
 from repro.termination.simple_linear import is_chase_finite_sl
+from tests.helpers import databases, linear_tgd_sets
 
 #: Generous limits: terminating chases over the 4-predicate / 3-constant
 #: vocabulary stay far below these numbers.

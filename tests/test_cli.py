@@ -436,3 +436,80 @@ class TestListCommand:
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 1
         assert "usage" in capsys.readouterr().out.lower()
+
+
+class TestConsoleEntryPoint:
+    """The installed ``repro-experiments`` script, exercised as a subprocess.
+
+    Everything above calls :func:`repro.cli.main` in-process; these tests pin
+    the packaging contract instead — the console entry point declared in
+    ``pyproject.toml`` resolves, parses argv, and propagates exit codes
+    through a real process boundary.  When the package is not installed
+    (plain ``PYTHONPATH=src`` runs), an equivalent ``python -c`` shim invokes
+    the same ``repro.cli:main`` target the script declares.
+    """
+
+    @pytest.fixture
+    def entry_point(self):
+        import shutil
+        import sys as _sys
+
+        script = shutil.which("repro-experiments")
+        if script is not None:
+            return [script]
+        return [
+            _sys.executable,
+            "-c",
+            "import sys; from repro.cli import main; sys.exit(main(sys.argv[1:]))",
+        ]
+
+    @pytest.fixture
+    def subprocess_env(self):
+        import os
+        from pathlib import Path
+
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src if not existing else os.pathsep.join([src, existing])
+        return env
+
+    def _run(self, entry_point, env, *argv):
+        import subprocess
+
+        return subprocess.run(
+            entry_point + list(argv),
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+
+    def test_chase_help_exits_zero(self, entry_point, subprocess_env):
+        completed = self._run(entry_point, subprocess_env, "chase", "--help")
+        assert completed.returncode == 0, completed.stderr
+        assert "--rules" in completed.stdout
+        assert "--strategy" in completed.stdout
+
+    def test_chase_run_exits_zero(self, entry_point, subprocess_env, tmp_path):
+        rules = tmp_path / "rules.txt"
+        rules.write_text("R(x,y) -> S(y,z)\nS(x,y) -> T(x)\n")
+        facts = tmp_path / "facts.txt"
+        facts.write_text("R(a,b).\n")
+        completed = self._run(
+            entry_point, subprocess_env,
+            "chase", "--rules", str(rules), "--facts", str(facts),
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "reached a fixpoint" in completed.stdout
+        assert "instance_size" in completed.stdout
+
+    def test_usage_error_exits_two(self, entry_point, subprocess_env, tmp_path):
+        rules = tmp_path / "rules.txt"
+        rules.write_text("R(x,y) -> S(y,z)\n")
+        completed = self._run(
+            entry_point, subprocess_env,
+            "chase", "--rules", str(rules), "--parallel", "0",
+        )
+        assert completed.returncode == 2
+        assert "--parallel must be >= 1" in completed.stderr

@@ -27,6 +27,7 @@ CHECKED_DOCUMENTS = (
     REPO / "ARCHITECTURE.md",
     REPO / "ROADMAP.md",
     REPO / "docs" / "cli.md",
+    REPO / "docs" / "invariants.md",
 )
 
 HELP_BLOCK = re.compile(

@@ -12,8 +12,8 @@ from repro import (
     parse_database,
     parse_rules,
 )
-from repro.core.serializer import dump_database, dump_rules
 from repro.core.parser import load_database, load_rules
+from repro.core.serializer import dump_database, dump_rules
 from repro.generators import generate_database, generate_tgds, make_schema
 from repro.scenarios import build_scenario
 

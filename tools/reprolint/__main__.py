@@ -1,0 +1,122 @@
+"""CLI for reprolint: ``python -m tools.reprolint [paths...] [options]``.
+
+Exit codes: 0 clean, 1 findings, 2 usage/parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .checkers import ALL_CHECKERS
+from .framework import LintReport, render_human, render_json, run_lint
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="static invariant checks for the chase engine",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/repro when static "
+        "rules run; none needed for --plan-shape alone)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule names to run (default: all): "
+        + ", ".join(checker.name for checker in ALL_CHECKERS),
+    )
+    parser.add_argument(
+        "--plan-shape",
+        action="store_true",
+        help="also EXPLAIN every compiled statement family over representative "
+        "schemas and flag full scans of relation tables",
+    )
+    parser.add_argument(
+        "--no-static",
+        action="store_true",
+        help="skip the static AST rules (useful with --plan-shape)",
+    )
+    parser.add_argument(
+        "--list-waivers",
+        action="store_true",
+        help="list every waiver in the scanned tree and exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print waived findings in human output",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if not args.plan_shape and args.no_static:
+        print("reprolint: --no-static without --plan-shape leaves nothing to do",
+              file=sys.stderr)
+        return 2
+
+    rules: Optional[List[str]] = None
+    if args.rules:
+        rules = [rule.strip() for rule in args.rules.split(",") if rule.strip()]
+        known = {checker.name for checker in ALL_CHECKERS}
+        unknown = [rule for rule in rules if rule not in known]
+        if unknown:
+            print(
+                f"reprolint: unknown rule(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})",
+                file=sys.stderr,
+            )
+            return 2
+
+    report = LintReport()
+    if not args.no_static:
+        paths = [Path(path) for path in (args.paths or ["src/repro"])]
+        try:
+            report = run_lint(paths, ALL_CHECKERS, rules=rules)
+        except FileNotFoundError as exc:
+            print(f"reprolint: {exc}", file=sys.stderr)
+            return 2
+        except SyntaxError as exc:
+            print(f"reprolint: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}",
+                  file=sys.stderr)
+            return 2
+
+    if args.list_waivers:
+        for waiver in report.waivers:
+            marker = "used" if waiver.used else "UNUSED"
+            print(
+                f"{waiver.path}:{waiver.line}: [{','.join(waiver.rules)}] "
+                f"({marker}) -- {waiver.justification or '<no justification>'}"
+            )
+        print(f"{len(report.waivers)} waiver(s)")
+        return 0
+
+    if args.plan_shape:
+        from .planshape import run_plan_shape
+
+        report.findings.extend(run_plan_shape())
+        report.findings.sort(
+            key=lambda finding: (finding.path, finding.line, finding.col, finding.rule)
+        )
+
+    if args.format == "json":
+        render_json(report)
+    else:
+        render_human(report, verbose=args.verbose)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,238 @@
+"""``lock-discipline``: every ``self._connection`` read happens under the lock.
+
+PR 5's deadlock came from exactly one missing discipline: SQLite's
+connection mutex and the Python GIL were acquired in opposite orders by two
+threads because one code path touched ``self._connection`` without holding
+``self._connection_lock``.  The fix serialised *every* connection access
+through that RLock — this checker keeps it that way.
+
+The analysis is per class, intra-module:
+
+1. For every class that mentions ``_connection_lock``, collect each method
+   (and each function nested inside a method) and walk its body tracking
+   whether execution is inside ``with self._connection_lock:``.
+2. Record every *unlocked* ``self._connection`` use, and every intra-class
+   call edge (``self.other()`` or a nested ``helper()``) tagged with whether
+   the call site holds the lock.
+3. A function is **reachable-unlocked** when it is a public/dunder entry
+   point (minus the ``__init__`` allowlist — construction happens before the
+   object is published), has no intra-class call sites at all, or is called
+   without the lock from another reachable-unlocked function.
+4. Violation = an unlocked ``self._connection`` use inside a
+   reachable-unlocked function.  Private helpers whose every call site holds
+   the lock are therefore fine, as is a nested ``flush_batch`` invoked only
+   inside a locked region.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..framework import Checker, Finding, ModuleSource
+
+LOCK_ATTR = "_connection_lock"
+CONNECTION_ATTR = "_connection"
+#: Methods allowed to touch the connection unlocked: the object is not yet
+#: published to other threads while they run.
+UNLOCKED_ALLOWLIST = frozenset({"__init__"})
+
+
+def _is_self_attr(node: ast.AST, attr: str) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == attr
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def _acquires_lock(item: ast.withitem) -> bool:
+    expr = item.context_expr
+    if _is_self_attr(expr, LOCK_ATTR):
+        return True
+    # ``with self._connection_lock as lock:`` and ``self._lock()``-style
+    # factories are not used in this codebase; keep the match strict so the
+    # checker cannot be fooled by a similarly named attribute.
+    return False
+
+
+@dataclass
+class _FunctionFacts:
+    """What one method (or nested function) does with the connection."""
+
+    qualname: str
+    method_name: str  # enclosing method for nested functions, else itself
+    is_nested: bool
+    unlocked_uses: List[Tuple[int, int]] = field(default_factory=list)
+    #: ``(callee short name, call site holds lock)`` edges.
+    calls: List[Tuple[str, bool]] = field(default_factory=list)
+    call_sites: int = 0  # how many times *this* function is called in-class
+
+
+class _BodyWalker(ast.NodeVisitor):
+    """Walk one function body tracking the ``with self._connection_lock`` depth."""
+
+    def __init__(self, facts: _FunctionFacts, nested_names: Set[str]) -> None:
+        self.facts = facts
+        self.nested_names = nested_names
+        self.lock_depth = 0
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired = sum(1 for item in node.items if _acquires_lock(item))
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        self.lock_depth += acquired
+        for stmt in node.body:
+            self.visit(stmt)
+        self.lock_depth -= acquired
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr == CONNECTION_ATTR and _is_self_attr(node, CONNECTION_ATTR):
+            if self.lock_depth == 0:
+                self.facts.unlocked_uses.append((node.lineno, node.col_offset))
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = ""
+        if isinstance(node.func, ast.Attribute) and isinstance(node.func.value, ast.Name):
+            if node.func.value.id == "self":
+                callee = node.func.attr
+        elif isinstance(node.func, ast.Name) and node.func.id in self.nested_names:
+            callee = node.func.id
+        if callee:
+            self.facts.calls.append((callee, self.lock_depth > 0))
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested functions are analysed as their own nodes
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        # A lambda body runs when *called*, which may be outside the lock;
+        # treat its connection uses as belonging to the enclosing context
+        # anyway (strictly conservative would be unlocked, but the codebase
+        # has no connection-touching lambdas and flagging them here keeps
+        # the rule simple).
+        self.generic_visit(node)
+
+
+class LockDisciplineChecker(Checker):
+    name = "lock-discipline"
+    description = (
+        "every self._connection use in the SQLite stores holds "
+        "self._connection_lock or is reachable only from locked callers"
+    )
+    include = ("storage/sqlbackend/", "sqlbackend/")
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef) and self._class_in_scope(node):
+                findings.extend(self._check_class(module, node))
+        return findings
+
+    @staticmethod
+    def _class_in_scope(node: ast.ClassDef) -> bool:
+        """Only classes that actually use the lock protocol are analysed."""
+        return any(
+            isinstance(sub, ast.Attribute) and sub.attr == LOCK_ATTR
+            for sub in ast.walk(node)
+        )
+
+    def _check_class(
+        self, module: ModuleSource, cls: ast.ClassDef
+    ) -> Iterable[Finding]:
+        functions: Dict[str, _FunctionFacts] = {}
+        nodes: Dict[str, ast.AST] = {}
+
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            nested = {
+                child.name: child
+                for child in ast.walk(stmt)
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and child is not stmt
+            }
+            facts = _FunctionFacts(
+                qualname=stmt.name, method_name=stmt.name, is_nested=False
+            )
+            walker = _BodyWalker(facts, set(nested))
+            for body_stmt in stmt.body:
+                walker.visit(body_stmt)
+            functions[stmt.name] = facts
+            nodes[stmt.name] = stmt
+            for nested_name, nested_node in nested.items():
+                nested_facts = _FunctionFacts(
+                    qualname=f"{stmt.name}.{nested_name}",
+                    method_name=stmt.name,
+                    is_nested=True,
+                )
+                nested_walker = _BodyWalker(nested_facts, set(nested))
+                for body_stmt in nested_node.body:
+                    nested_walker.visit(body_stmt)
+                # Nested names can collide across methods; qualify them so
+                # edges resolve within the right method below.
+                functions[f"{stmt.name}.{nested_name}"] = nested_facts
+                nodes[f"{stmt.name}.{nested_name}"] = nested_node
+
+        # Resolve call edges: ``self.x`` -> method ``x``; bare ``x`` inside
+        # method ``m`` -> nested ``m.x`` when it exists.
+        edges: List[Tuple[str, str, bool]] = []  # caller qualname, callee qualname, locked
+        for facts in functions.values():
+            for callee, locked in facts.calls:
+                if callee in functions:
+                    target = callee
+                elif f"{facts.method_name}.{callee}" in functions:
+                    target = f"{facts.method_name}.{callee}"
+                else:
+                    continue
+                edges.append((facts.qualname, target, locked))
+                functions[target].call_sites += 1
+
+        reachable_unlocked: Set[str] = set()
+        for qualname, facts in functions.items():
+            if facts.qualname.split(".")[0] in UNLOCKED_ALLOWLIST:
+                continue
+            public_entry = not facts.is_nested and (
+                not qualname.startswith("_") or qualname.startswith("__")
+            )
+            if public_entry or facts.call_sites == 0:
+                reachable_unlocked.add(qualname)
+
+        changed = True
+        while changed:
+            changed = False
+            for caller, target, locked in edges:
+                if locked or caller not in reachable_unlocked:
+                    continue
+                if functions[target].method_name in UNLOCKED_ALLOWLIST:
+                    continue
+                if target not in reachable_unlocked:
+                    reachable_unlocked.add(target)
+                    changed = True
+
+        for qualname in sorted(reachable_unlocked):
+            facts = functions[qualname]
+            if facts.method_name in UNLOCKED_ALLOWLIST:
+                continue
+            for line, col in facts.unlocked_uses:
+                yield Finding(
+                    rule=self.name,
+                    path=module.rel,
+                    line=line,
+                    col=col,
+                    message=(
+                        f"{cls.name}.{qualname} reads self.{CONNECTION_ATTR} without "
+                        f"holding self.{LOCK_ATTR} and is reachable from unlocked "
+                        "callers; wrap the access in 'with self._connection_lock:' "
+                        "(unlocked connection access is how the PR 5 GIL/SQLite-mutex "
+                        "deadlock happened)"
+                    ),
+                )
