@@ -1,0 +1,77 @@
+"""Fuzz harness throughput: cases per second and coverage plateau.
+
+Two numbers the fuzzing PR is accountable for, recorded to
+``BENCH_fuzz_harness.json``:
+
+* **replay throughput** — seed replay (every adversarial family through
+  the quick oracle profile) must finish in seconds, or the CI smoke job's
+  time box becomes meaningless;
+* **search throughput** — mutated cases checked per second in the search
+  phase; the gate is deliberately loose (the oracle battery runs dozens of
+  chases per case) but catches an accidental order-of-magnitude regression
+  such as tracing the full battery instead of the cheap probe.
+"""
+
+import time
+
+from conftest import record_bench_json
+
+from repro.fuzz import fuzz
+
+#: The search loop must clear this many oracle-checked cases per second.
+MIN_CASES_PER_SECOND = 0.5
+
+SEARCH_CASES = 8
+
+
+def test_fuzz_seed_replay_and_search_throughput(benchmark):
+    def run():
+        return fuzz(max_cases=SEARCH_CASES, seed=0, pools="quick")
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.ok, report.summary()
+    assert report.cases_run >= report.seeds_loaded + 1
+    cases_per_second = report.cases_run / max(report.elapsed_seconds, 1e-9)
+    record_bench_json(
+        "fuzz_harness",
+        {
+            "seconds": report.elapsed_seconds,
+            "cases_run": report.cases_run,
+            "seeds_loaded": report.seeds_loaded,
+            "coverage_edges": report.coverage_edges,
+            "cases_per_second": cases_per_second,
+        },
+    )
+    assert cases_per_second >= MIN_CASES_PER_SECOND, (
+        f"fuzz throughput collapsed: {cases_per_second:.2f} cases/s "
+        f"(floor {MIN_CASES_PER_SECOND})"
+    )
+
+
+def test_corpus_replay_is_fast_enough_for_ci(benchmark):
+    from pathlib import Path
+
+    corpus = Path(__file__).resolve().parents[1] / "tests" / "regressions" / "corpus"
+    if not corpus.is_dir():
+        import pytest
+
+        pytest.skip("committed corpus not present")
+
+    from repro.fuzz import replay_corpus
+
+    start = time.perf_counter()
+    report = benchmark.pedantic(
+        lambda: replay_corpus(corpus, pools="full"), rounds=1, iterations=1
+    )
+    elapsed = time.perf_counter() - start
+    assert report.ok, report.summary()
+    record_bench_json(
+        "fuzz_corpus_replay",
+        {
+            "seconds": elapsed,
+            "cases_run": report.cases_run,
+            "waived": len(report.waived),
+        },
+    )
+    # The corpus-replay CI step budgets a minute; leave generous headroom.
+    assert elapsed < 120.0

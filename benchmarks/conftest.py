@@ -13,10 +13,11 @@ paper's plot or table (visible with ``-s`` or in the captured output), so a
 single run produces both the timing and the reproduced result.
 
 Every benchmark run additionally emits a machine-readable JSON artifact
-(``BENCH_<test>.json``) into the directory named by the
+(``BENCH_<test>.json``) twice: into the directory named by the
 ``REPRO_BENCH_ARTIFACTS`` environment variable (default:
-``benchmarks/artifacts``), so successive PRs can track the performance
-trajectory without parsing pytest output.
+``benchmarks/artifacts``) *and* into the repository root, where the
+committed copies form the cross-PR performance trajectory.  Set
+``REPRO_BENCH_NO_ROOT=1`` to suppress the root copy (scratch runs).
 """
 
 from __future__ import annotations
@@ -46,11 +47,17 @@ def config():
     return _selected_preset()
 
 
+#: Data scale per preset for the scenario builders; presets without an entry
+#: (e.g. a future one) fall back to the builders' own default rather than
+#: KeyError-ing the whole benchmark session.
+_SCENARIO_SCALES = {"smoke": 0.02, "medium": 0.1, "default": None, "paper": 1.0}
+
+
 @pytest.fixture(scope="session")
 def scenario_scale():
     """Data scale for the Table 1 / Table 2 scenario builders."""
     name = os.environ.get("REPRO_BENCH_PRESET", "smoke")
-    return {"smoke": 0.02, "default": None, "paper": 1.0}[name]
+    return _SCENARIO_SCALES.get(name)
 
 
 def artifacts_dir() -> Path:
@@ -71,17 +78,23 @@ def record_bench_json(name: str, payload: dict) -> Path:
     """Write *payload* as ``BENCH_<name>.json`` and return the artifact path.
 
     Adds the preset and a wall-clock timestamp so artifacts from different
-    runs are self-describing.
+    runs are self-describing.  The artifact is written twice — once into the
+    artifacts directory, once into the repository root (the committed perf
+    trajectory) — unless ``REPRO_BENCH_NO_ROOT`` is set.
     """
     safe = re.sub(r"[^A-Za-z0-9_.\-]", "_", name)
-    path = artifacts_dir() / f"BENCH_{safe}.json"
+    filename = f"BENCH_{safe}.json"
     document = {
         "name": name,
         "preset": os.environ.get("REPRO_BENCH_PRESET", "smoke"),
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         **payload,
     }
-    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    rendered = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    path = artifacts_dir() / filename
+    path.write_text(rendered)
+    if not os.environ.get("REPRO_BENCH_NO_ROOT"):
+        (Path(__file__).resolve().parents[1] / filename).write_text(rendered)
     return path
 
 

@@ -16,6 +16,10 @@ Subcommands
     Run the parallel, checkpointed workload sweep: the simple-linear grid
     and/or the linear prefix-view ladder, fanned across a process pool,
     resumable from a JSONL checkpoint.
+``fuzz``
+    Run the differential fuzzing harness: replay a committed corpus and/or
+    mutate adversarial seed programs, checking every engine combination
+    against the byte-identity, budget, round-trip, and termination oracles.
 ``list``
     List the available experiments and presets.
 
@@ -36,6 +40,9 @@ Examples
     repro-experiments sweep --preset smoke --workers 4 --checkpoint sweep.jsonl
     repro-experiments sweep --kinds l --from-scratch --csv sweep.csv
     repro-experiments sweep --kinds chase --chase-workers 4 --chase-backend sqlite
+    repro-experiments fuzz --time-budget 30 --corpus tests/regressions/corpus
+    repro-experiments fuzz --replay tests/regressions/corpus
+    repro-experiments fuzz --max-cases 20 --families heavy_skew,null_churn --seed 7
 """
 
 from __future__ import annotations
@@ -51,7 +58,7 @@ from .chase.parallel import EXECUTORS
 from .chase.result import ChaseLimits
 from .core.instances import Database, induced_database
 from .core.parser import load_database, load_rules
-from .exceptions import ExperimentConfigError, StorageError
+from .exceptions import ExperimentConfigError, ParseError, StorageError
 from .experiments import (
     ABLATION_RUNNERS,
     ALL_RUNNERS,
@@ -188,16 +195,94 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--csv", help="write the raw rows (timings included) to this CSV file")
     sweep.add_argument("--raw", action="store_true", help="print raw rows instead of the aggregate tables")
 
+    fuzz_cmd = subparsers.add_parser(
+        "fuzz", help="differentially fuzz the chase engines against each other"
+    )
+    fuzz_cmd.add_argument(
+        "--time-budget",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock bound for the run; the clock only cuts the "
+        "deterministic case sequence short, it never changes its content",
+    )
+    fuzz_cmd.add_argument(
+        "--max-cases",
+        type=int,
+        metavar="N",
+        help="number of mutated cases to search after the seed replay "
+        "(default: 50 when no --time-budget is given; 0 replays seeds only)",
+    )
+    fuzz_cmd.add_argument(
+        "--corpus",
+        metavar="DIR",
+        help="corpus directory of *.case seed files "
+        "(the committed one is tests/regressions/corpus)",
+    )
+    fuzz_cmd.add_argument(
+        "--replay",
+        metavar="PATH",
+        help="replay one *.case file or a whole corpus directory through the "
+        "full oracle battery and exit (no mutation search)",
+    )
+    fuzz_cmd.add_argument(
+        "--seed", type=int, default=0, help="rng seed; the run is a pure function of it (default: 0)"
+    )
+    fuzz_cmd.add_argument(
+        "--pools",
+        choices=("quick", "full"),
+        default="quick",
+        help="parallel-executor profile: quick keeps process pools out of "
+        "the search loop; full is what corpus replay uses (default: quick)",
+    )
+    fuzz_cmd.add_argument(
+        "--families",
+        help="comma-separated adversarial generator families to seed from "
+        "(default: all)",
+    )
+    fuzz_cmd.add_argument(
+        "--save",
+        metavar="DIR",
+        help="write minimized divergent cases into this directory",
+    )
+    fuzz_cmd.add_argument(
+        "--max-atoms", type=int, default=300, help="per-run atom budget (default: 300)"
+    )
+    fuzz_cmd.add_argument(
+        "--max-rounds", type=int, default=10, help="per-run round budget (default: 10)"
+    )
+
     subparsers.add_parser("list", help="list available experiments and presets")
     return parser
 
 
-def _command_check(args) -> int:
-    tgds = load_rules(args.rules)
-    if args.facts:
-        database = load_database(args.facts)
+def _load_program(rules_path, facts_path):
+    """Load the rule/fact inputs shared by ``check`` and ``chase``.
+
+    Raises :class:`ParseError` or :class:`OSError`; callers translate both
+    into the documented one-line, exit-code-2 contract — a malformed rule
+    file must never escape as a traceback.
+    """
+    tgds = load_rules(rules_path)
+    if facts_path:
+        database = load_database(facts_path)
     else:
         database = induced_database(tgds)
+    return database, tgds
+
+
+def _input_error(error) -> str:
+    if isinstance(error, OSError):
+        name = getattr(error, "filename", None)
+        return f"cannot read {name}: {error.strerror}" if name else str(error)
+    return str(error)
+
+
+def _command_check(args) -> int:
+    try:
+        database, tgds = _load_program(args.rules, args.facts)
+    except (ParseError, OSError) as error:
+        print(_input_error(error), file=sys.stderr)
+        return 2
 
     algorithm = args.algorithm
     if algorithm == "auto":
@@ -217,11 +302,11 @@ def _command_check(args) -> int:
 
 
 def _command_chase(args) -> int:
-    tgds = load_rules(args.rules)
-    if args.facts:
-        database = load_database(args.facts)
-    else:
-        database = induced_database(tgds)
+    try:
+        database, tgds = _load_program(args.rules, args.facts)
+    except (ParseError, OSError) as error:
+        print(_input_error(error), file=sys.stderr)
+        return 2
 
     if args.parallel < 1:
         print("--parallel must be >= 1", file=sys.stderr)
@@ -361,6 +446,79 @@ def _command_sweep(args) -> int:
     return 0 if result.finished else 3
 
 
+def _command_fuzz(args) -> int:
+    from pathlib import Path
+
+    from .fuzz import fuzz, load_case, replay_case, replay_corpus
+    from .fuzz.oracles import Divergence  # noqa: F401 - documents the report shape
+    from .generators.adversarial import FAMILY_NAMES
+
+    if args.time_budget is not None and args.time_budget < 0:
+        print("--time-budget must be >= 0", file=sys.stderr)
+        return 2
+    if args.max_cases is not None and args.max_cases < 0:
+        print("--max-cases must be >= 0", file=sys.stderr)
+        return 2
+    families = None
+    if args.families:
+        families = tuple(name.strip() for name in args.families.split(",") if name.strip())
+        unknown = sorted(set(families) - set(FAMILY_NAMES))
+        if unknown:
+            print(
+                f"unknown adversarial families {','.join(unknown)}; "
+                f"expected a comma-separated subset of {','.join(FAMILY_NAMES)}",
+                file=sys.stderr,
+            )
+            return 2
+    limits = ChaseLimits(max_atoms=args.max_atoms, max_rounds=args.max_rounds)
+
+    if args.replay is not None:
+        path = Path(args.replay)
+        try:
+            if path.is_dir():
+                report = replay_corpus(path, limits=limits, pools=args.pools, log=print)
+            else:
+                outcome = replay_case(load_case(path), limits=limits, pools=args.pools)
+                if outcome.status == "waived":
+                    print(f"waived   {outcome.case.name}: {outcome.case.waived}")
+                    return 0
+                for divergence in outcome.divergences:
+                    print(f"DIVERGED {outcome.case.name}: {divergence}")
+                print(f"replayed {outcome.case.name}: {outcome.status}")
+                return 0 if outcome.status == "ok" else 1
+        except ParseError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        print(report.summary())
+        return 0 if report.ok else 1
+
+    try:
+        report = fuzz(
+            time_budget=args.time_budget,
+            max_cases=args.max_cases,
+            corpus_dir=args.corpus,
+            seed=args.seed,
+            pools=args.pools,
+            families=families,
+            limits=limits,
+            save_dir=args.save,
+            log=print,
+        )
+    except ParseError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    print(report.summary())
+    for outcome in report.divergent:
+        for divergence in outcome.divergences:
+            print(f"  {outcome.case.name}: {divergence}")
+    if report.divergent:
+        # Divergences win over an interrupt: finding a bug is the headline.
+        return 1
+    if report.interrupted:
+        return 3
+    return 0
+
+
 def _command_list() -> int:
     print("experiments:")
     for name in sorted({**ALL_RUNNERS, **ABLATION_RUNNERS}):
@@ -383,6 +541,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_run(args)
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "fuzz":
+        return _command_fuzz(args)
     if args.command == "list":
         return _command_list()
     parser.print_help()

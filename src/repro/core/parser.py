@@ -9,7 +9,9 @@ ChaseBench) adapted to plain ASCII:
   existentially quantified.  ``%`` and ``#`` start line comments.
 * **Facts**: one fact per line, written ``R(a, b).`` (the trailing dot is
   optional).  Constants are identifiers, numbers, or single/double quoted
-  strings.
+  strings; inside a quoted string the quote character itself is written
+  doubled (``"a""b"`` is the constant ``a"b``), and comment prefixes are
+  taken literally.
 
 The parser is deliberately hand-rolled (no regex-based tokenizer tricks)
 so that parse time scales linearly with input size — ``t-parse`` is one of
@@ -33,13 +35,31 @@ _IMPLICATION_TOKENS = ("->", ":-", "=>")
 
 
 def _strip_comment(line: str) -> str:
-    """Remove a trailing line comment (``%``, ``#`` or ``//``)."""
-    cut = len(line)
-    for prefix in _COMMENT_PREFIXES:
-        index = line.find(prefix)
-        if index != -1:
-            cut = min(cut, index)
-    return line[:cut]
+    """Remove a trailing line comment (``%``, ``#`` or ``//``).
+
+    Quote-aware: a comment prefix inside a quoted constant is content, not a
+    comment — ``R("100%").`` keeps its percent sign.  An unterminated quote
+    keeps the rest of the line so the atom parser can report it properly.
+    """
+    quote = None
+    index = 0
+    length = len(line)
+    while index < length:
+        char = line[index]
+        if quote is not None:
+            if char == quote:
+                quote = None
+            index += 1
+            continue
+        if char in "\"'":
+            quote = char
+            index += 1
+            continue
+        for prefix in _COMMENT_PREFIXES:
+            if line.startswith(prefix, index):
+                return line[:index]
+        index += 1
+    return line
 
 
 def _split_top_level(text: str, separator: str = ",") -> List[str]:
@@ -78,17 +98,29 @@ def _split_top_level(text: str, separator: str = ",") -> List[str]:
 
 
 def _parse_term(token: str, as_variable: bool) -> Term:
-    """Parse a single term token as a variable (rules) or a constant (facts)."""
+    """Parse a single term token as a variable (rules) or a constant (facts).
+
+    Invalid term names (for example the empty quoted string ``""``) are
+    reported as :class:`ParseError`, never as the raw ``TypeError`` the term
+    constructors raise — the parser owns the input-validation contract.
+    """
     token = token.strip()
     if not token:
         raise ParseError("empty term")
-    if token.startswith("?"):
-        return Variable(token[1:] or token)
-    if token[0] in "\"'" and token[-1] == token[0] and len(token) >= 2:
-        return Constant(token[1:-1])
-    if as_variable:
-        return Variable(token)
-    return Constant(token)
+    try:
+        if token.startswith("?"):
+            return Variable(token[1:] or token)
+        if token[0] in "\"'" and token[-1] == token[0] and len(token) >= 2:
+            quote = token[0]
+            # Doubled quote characters inside a quoted constant are the
+            # quote itself: "a""b" is the constant a"b (serializer emits
+            # exactly this form for quote-bearing names).
+            return Constant(token[1:-1].replace(quote + quote, quote))
+        if as_variable:
+            return Variable(token)
+        return Constant(token)
+    except TypeError as error:
+        raise ParseError(f"invalid term {token!r}: {error}") from error
 
 
 def parse_atom(text: str, as_variable: bool = True, schema: Optional[Schema] = None) -> Atom:

@@ -11,19 +11,42 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from ..exceptions import ValidationError
 from .atoms import Atom
 from .instances import Database, Instance
 from .terms import Constant, Null, Term, Variable
 from .tgds import TGD, TGDSet
+
+#: Characters that force quoting: atom syntax, separators, whitespace,
+#: quotes, and every comment prefix character (``%``, ``#``, and the ``/``
+#: of ``//`` — an unquoted ``a//b`` would be cut down to ``a`` by the
+#: comment stripper before the atom parser ever saw it).
+_QUOTE_FORCING = "(),.\"'%#/"
 
 
 def _needs_quoting(name: str) -> bool:
     """Return ``True`` when a constant name must be quoted to parse back."""
     if not name:
         return True
-    if any(ch in name for ch in "(),. \t\"'%#"):
+    if any(ch in _QUOTE_FORCING or ch.isspace() or not ch.isprintable() for ch in name):
         return True
     return name.startswith("?")
+
+
+def _quoted(name: str) -> str:
+    """Quote *name* so the parser reads it back verbatim.
+
+    The quote character inside the name is escaped by doubling it, matching
+    the parser's ``"a""b"`` convention.  Line breaks cannot be represented
+    in the line-based format at all and are rejected eagerly — truncating
+    or mangling them silently would break the round-trip contract.
+    """
+    if "\n" in name or "\r" in name:
+        raise ValidationError(
+            f"constant name {name!r} contains a line break; the line-based "
+            "rule/fact format cannot represent it"
+        )
+    return '"' + name.replace('"', '""') + '"'
 
 
 def serialize_term(term: Term, in_rule: bool) -> str:
@@ -31,9 +54,9 @@ def serialize_term(term: Term, in_rule: bool) -> str:
     if isinstance(term, Variable):
         return term.name if in_rule else f"?{term.name}"
     if isinstance(term, Null):
-        return f'"_:{term.name}"'
+        return _quoted(f"_:{term.name}")
     if isinstance(term, Constant):
-        return f'"{term.name}"' if _needs_quoting(term.name) else term.name
+        return _quoted(term.name) if _needs_quoting(term.name) else term.name
     raise TypeError(f"cannot serialize term {term!r}")
 
 

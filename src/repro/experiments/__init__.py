@@ -5,7 +5,7 @@ from .ablations import (
     ablation_materialization_vs_acyclicity,
     ablation_static_vs_dynamic_simplification,
 )
-from .config import DEFAULT, PAPER, PRESETS, SMOKE, ExperimentConfig, preset
+from .config import DEFAULT, MEDIUM, PAPER, PRESETS, SMOKE, ExperimentConfig, preset
 from .figures import (
     FIGURE_RUNNERS,
     figure1,
@@ -29,8 +29,10 @@ from .runner import (
 )
 from .tables import TABLE_RUNNERS, table1, table2
 from .workloads import (
+    AdversarialWorkload,
     LinearRuleSet,
     SimpleLinearWorkload,
+    adversarial_workloads,
     build_dstar,
     build_linear_rule_set,
     build_simple_linear_workload,
@@ -45,8 +47,10 @@ ALL_RUNNERS = {**FIGURE_RUNNERS, **TABLE_RUNNERS}
 
 __all__ = [
     "ABLATION_RUNNERS",
+    "AdversarialWorkload",
     "ALL_RUNNERS",
     "DEFAULT",
+    "MEDIUM",
     "ExperimentConfig",
     "FIGURE_RUNNERS",
     "LinearRuleSet",
@@ -60,6 +64,7 @@ __all__ = [
     "TABLE_RUNNERS",
     "ablation_materialization_vs_acyclicity",
     "ablation_static_vs_dynamic_simplification",
+    "adversarial_workloads",
     "build_dstar",
     "build_linear_rule_set",
     "build_simple_linear_workload",

@@ -7,9 +7,11 @@ experiment runner in this package therefore takes an
 qualitative shapes of the results (what grows linearly, what stays flat) are
 preserved, which is what EXPERIMENTS.md compares against the paper.
 
-Three presets are provided:
+Four presets are provided:
 
 * ``smoke``   — seconds; used by the test suite;
+* ``medium``  — tens of seconds; the non-smoke scale the repo-root
+  ``BENCH_*.json`` perf trajectory is recorded at;
 * ``default`` — a couple of minutes; used by the benchmark harness;
 * ``paper``   — the nominal sizes of the paper (hours; memory hungry).
 """
@@ -143,6 +145,18 @@ SMOKE = ExperimentConfig(
     sets_per_profile_l=1,
 )
 
+#: Non-smoke trajectory preset: big enough that engine differences show up
+#: in the timings, small enough to run on every push (tens of seconds).
+MEDIUM = ExperimentConfig(
+    tgd_scale=0.001,
+    predicate_scale=0.1,
+    db_scale=0.001,
+    db_predicates=30,
+    db_domain_size=1_000,
+    sets_per_profile_sl=2,
+    sets_per_profile_l=1,
+)
+
 #: Preset used by the benchmark harness (a few minutes end to end).
 DEFAULT = ExperimentConfig()
 
@@ -157,11 +171,16 @@ PAPER = ExperimentConfig(
     sets_per_profile_l=5,
 )
 
-PRESETS: Dict[str, ExperimentConfig] = {"smoke": SMOKE, "default": DEFAULT, "paper": PAPER}
+PRESETS: Dict[str, ExperimentConfig] = {
+    "smoke": SMOKE,
+    "medium": MEDIUM,
+    "default": DEFAULT,
+    "paper": PAPER,
+}
 
 
 def preset(name: str) -> ExperimentConfig:
-    """Return a named preset (``smoke``, ``default``, or ``paper``)."""
+    """Return a named preset (``smoke``, ``medium``, ``default``, or ``paper``)."""
     try:
         return PRESETS[name]
     except KeyError:

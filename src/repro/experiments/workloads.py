@@ -139,6 +139,58 @@ def linear_rule_sets(config: ExperimentConfig) -> Iterator[LinearRuleSet]:
             yield build_linear_rule_set(config, profile_index, sample_index, schema=schema)
 
 
+@dataclass
+class AdversarialWorkload:
+    """One adversarial input in the same shape as the paper workloads.
+
+    Thin wrapper over :class:`~repro.generators.adversarial.AdversarialCase`
+    so the experiment runners (and the fuzz harness's seed pool) can consume
+    adversarial families through the same interface as the grid workloads.
+    """
+
+    family: str
+    rules_text: str
+    tgds: TGDSet
+    database: Database
+    seed: int
+    notes: str
+
+    @property
+    def n_rules(self) -> int:
+        return len(self.tgds)
+
+
+def adversarial_workloads(
+    config: ExperimentConfig,
+    families: Optional[Tuple[str, ...]] = None,
+    per_family: int = 1,
+    scale: Optional[float] = None,
+) -> Iterator[AdversarialWorkload]:
+    """Generate adversarial workloads at the configured scale.
+
+    The default *scale* maps the preset ladder onto the adversarial
+    families' own size knob: ``smoke`` stays at 1.0 (a handful of rules and
+    facts per case) and larger presets grow roughly with the predicate
+    scale, which is the axis the families actually stress (join width and
+    skew, not rule-set cardinality).
+    """
+    from ..generators.adversarial import adversarial_cases
+
+    if scale is None:
+        scale = max(1.0, config.predicate_scale * 10.0)
+    for case in adversarial_cases(
+        seed=config.seed, scale=scale, families=families, per_family=per_family
+    ):
+        yield AdversarialWorkload(
+            family=case.family,
+            rules_text=serialize_rules(case.tgds),
+            tgds=case.tgds,
+            database=case.database,
+            seed=case.seed,
+            notes=case.notes,
+        )
+
+
 def build_dstar(config: ExperimentConfig) -> RelationalDatabase:
     """Build the large shape-controlled database ``D*`` (Section 8.1) at scale.
 

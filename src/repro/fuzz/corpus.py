@@ -1,0 +1,186 @@
+"""Corpus case files: the on-disk format of the differential fuzzer.
+
+A *case* is one chase program in the same textual shape that the
+property-based suite already prints for failing examples
+(``tests/property/strategies.describe_program``), preceded by ``# key:
+value`` header lines:
+
+.. code-block:: text
+
+    # name: comment-percent-constant
+    # note: constants containing comment prefixes must round-trip
+    --- rules ---
+    R(x,y) -> S(y,z)
+    --- facts ---
+    R("100%",b).
+
+Recognised headers:
+
+``name``
+    Case identifier; defaults to the file stem.
+``expect``
+    ``conform`` (default — the full oracle battery must pass) or
+    ``parse-error`` (the program text must *fail* to parse with a clean
+    :class:`~repro.exceptions.ParseError`; used to pin input-validation
+    contracts).
+``waived``
+    A mandatory-justification marker: the case documents a known divergence
+    that is deliberately deferred.  Replay skips it but reports it, mirroring
+    reprolint's justified-waiver policy.
+``note``
+    Free-text commentary carried alongside the case.
+
+Cases live as ``*.case`` files in a corpus directory; the committed
+regression corpus is ``tests/regressions/corpus/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from ..core.instances import Database
+from ..core.parser import parse_database, parse_rules
+from ..core.predicates import Schema
+from ..core.serializer import serialize_database, serialize_rules
+from ..core.tgds import TGDSet
+from ..exceptions import ParseError
+
+CASE_SUFFIX = ".case"
+RULES_MARKER = "--- rules ---"
+FACTS_MARKER = "--- facts ---"
+EXPECTATIONS = ("conform", "parse-error")
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One corpus entry: program text plus its expectation headers."""
+
+    name: str
+    rules_text: str
+    facts_text: str
+    expect: str = "conform"
+    waived: Optional[str] = None
+    note: Optional[str] = None
+    path: Optional[Path] = field(default=None, compare=False)
+
+    def program(self) -> Tuple[Database, TGDSet]:
+        """Parse the case body into ``(database, tgds)``.
+
+        Raises :class:`ParseError` — which is the *expected* outcome for
+        ``expect: parse-error`` cases.
+        """
+        schema = Schema()
+        tgds = parse_rules(self.rules_text, schema=schema)
+        database = parse_database(self.facts_text, schema=schema)
+        return database, tgds
+
+
+def case_from_program(
+    name: str,
+    database: Database,
+    tgds: TGDSet,
+    note: Optional[str] = None,
+) -> FuzzCase:
+    """Build a case by serializing an in-memory program."""
+    return FuzzCase(
+        name=name,
+        rules_text=serialize_rules(tgds),
+        facts_text=serialize_database(database),
+        note=note,
+    )
+
+
+def render_case(case: FuzzCase) -> str:
+    """Render a case to its file form (inverse of :func:`parse_case`)."""
+    lines = [f"# name: {case.name}"]
+    if case.expect != "conform":
+        lines.append(f"# expect: {case.expect}")
+    if case.waived is not None:
+        lines.append(f"# waived: {case.waived}")
+    if case.note is not None:
+        lines.append(f"# note: {case.note}")
+    lines.append(RULES_MARKER)
+    lines.append(case.rules_text.rstrip("\n"))
+    lines.append(FACTS_MARKER)
+    lines.append(case.facts_text.rstrip("\n"))
+    return "\n".join(lines) + "\n"
+
+
+def parse_case(text: str, default_name: str = "unnamed") -> FuzzCase:
+    """Parse a ``*.case`` file body.
+
+    Structural problems (missing section markers, unknown ``expect`` values)
+    raise :class:`ParseError`; the program body itself is *not* parsed here —
+    ``expect: parse-error`` cases are exactly the ones whose body must not
+    parse.
+    """
+    headers = {}
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        line = lines[index].strip()
+        if not line.startswith("#"):
+            break
+        content = line.lstrip("#").strip()
+        if ":" in content:
+            key, _, value = content.partition(":")
+            key = key.strip().lower()
+            if key in ("name", "expect", "waived", "note"):
+                headers[key] = value.strip()
+        index += 1
+    remainder = lines[index:]
+    try:
+        rules_at = remainder.index(RULES_MARKER)
+        facts_at = remainder.index(FACTS_MARKER)
+    except ValueError:
+        raise ParseError(
+            f"corpus case must contain {RULES_MARKER!r} and {FACTS_MARKER!r} sections"
+        ) from None
+    if facts_at < rules_at:
+        raise ParseError("corpus case: facts section precedes rules section")
+    expect = headers.get("expect", "conform")
+    if expect not in EXPECTATIONS:
+        raise ParseError(
+            f"corpus case: unknown expect value {expect!r}; expected one of {EXPECTATIONS}"
+        )
+    rules_text = "\n".join(remainder[rules_at + 1 : facts_at]) + "\n"
+    facts_text = "\n".join(remainder[facts_at + 1 :]) + "\n"
+    return FuzzCase(
+        name=headers.get("name", default_name),
+        rules_text=rules_text,
+        facts_text=facts_text,
+        expect=expect,
+        waived=headers.get("waived"),
+        note=headers.get("note"),
+    )
+
+
+def load_case(path) -> FuzzCase:
+    """Load one case file; the file stem is the fallback name."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise ParseError(f"cannot read corpus case {path}: {error}") from error
+    case = parse_case(text, default_name=path.stem)
+    return replace(case, path=path)
+
+
+def load_corpus(directory) -> List[FuzzCase]:
+    """Load every ``*.case`` file in *directory*, sorted by file name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ParseError(f"corpus directory {directory} does not exist")
+    return [load_case(path) for path in sorted(directory.glob(f"*{CASE_SUFFIX}"))]
+
+
+def save_case(case: FuzzCase, directory) -> Path:
+    """Write *case* into *directory* as ``<name>.case`` and return the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    safe = "".join(ch if ch.isalnum() or ch in "-_." else "-" for ch in case.name)
+    path = directory / f"{safe}{CASE_SUFFIX}"
+    path.write_text(render_case(case), encoding="utf-8")
+    return path

@@ -1,0 +1,103 @@
+"""Line-edge coverage probes without external dependencies.
+
+The fuzzer keeps mutated inputs only when they exercise code no earlier
+input reached, so it needs *some* coverage signal — but the container must
+not grow a dependency on ``coverage.py``.  This module implements the
+minimum viable probe over the standard library:
+
+* on CPython 3.12+, :mod:`sys.monitoring` ``LINE`` events (cheap: the
+  runtime disables delivery per-line after the first hit via
+  ``DISABLE``);
+* otherwise a :func:`sys.settrace` local-trace fallback.
+
+Both report the same currency — a frozenset of ``(module, line)`` pairs
+restricted to the interesting subsystems (``repro.chase`` and
+``repro.storage`` by default) — so the harness's "did this input reach new
+code?" question is version-independent.  Probes trace a *single cheap
+reference run*, not the full oracle battery: the signal guides the search,
+it is not itself a correctness check.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Callable, FrozenSet, Tuple
+
+CoverageEdges = FrozenSet[Tuple[str, int]]
+
+#: Path fragments selecting the subsystems whose coverage guides the search.
+DEFAULT_SCOPE = (
+    os.path.join("repro", "chase"),
+    os.path.join("repro", "storage"),
+)
+
+_MONITORING_TOOL_ID = 4  # sys.monitoring.PROFILER_ID is taken by cProfile hooks
+
+
+def _in_scope(filename: str, scope: Tuple[str, ...]) -> bool:
+    return any(fragment in filename for fragment in scope)
+
+
+def _trace_with_monitoring(probe: Callable[[], None], scope: Tuple[str, ...]) -> CoverageEdges:
+    monitoring = sys.monitoring
+    edges = set()
+
+    def on_line(code, line_number):
+        filename = code.co_filename
+        if _in_scope(filename, scope):
+            edges.add((filename, line_number))
+        return monitoring.DISABLE
+
+    monitoring.use_tool_id(_MONITORING_TOOL_ID, "repro-fuzz")
+    try:
+        monitoring.register_callback(
+            _MONITORING_TOOL_ID, monitoring.events.LINE, on_line
+        )
+        monitoring.set_events(_MONITORING_TOOL_ID, monitoring.events.LINE)
+        probe()
+    finally:
+        monitoring.set_events(_MONITORING_TOOL_ID, 0)
+        monitoring.register_callback(_MONITORING_TOOL_ID, monitoring.events.LINE, None)
+        monitoring.free_tool_id(_MONITORING_TOOL_ID)
+    return frozenset(edges)
+
+
+def _trace_with_settrace(probe: Callable[[], None], scope: Tuple[str, ...]) -> CoverageEdges:
+    edges = set()
+
+    def local_trace(frame, event, arg):
+        if event == "line":
+            edges.add((frame.f_code.co_filename, frame.f_lineno))
+        return local_trace
+
+    def global_trace(frame, event, arg):
+        if _in_scope(frame.f_code.co_filename, scope):
+            return local_trace
+        return None
+
+    previous = sys.gettrace()
+    sys.settrace(global_trace)
+    try:
+        probe()
+    finally:
+        sys.settrace(previous)
+    return frozenset(edges)
+
+
+def trace_probe(
+    probe: Callable[[], None],
+    scope: Tuple[str, ...] = DEFAULT_SCOPE,
+) -> CoverageEdges:
+    """Run *probe* under line tracing and return the covered edges.
+
+    Exceptions from *probe* propagate after tracing is unwound.
+    """
+    if hasattr(sys, "monitoring"):
+        try:
+            return _trace_with_monitoring(probe, scope)
+        except ValueError:
+            # Tool id already claimed (nested probes, foreign profiler):
+            # fall through to the settrace path rather than fight over it.
+            pass
+    return _trace_with_settrace(probe, scope)

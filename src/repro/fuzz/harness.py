@@ -1,0 +1,308 @@
+"""The differential fuzzing loop: seed, mutate, check, shrink, persist.
+
+A run has two phases:
+
+1. **Replay** — every seed (the committed corpus plus the adversarial
+   generator families) goes through the full oracle battery.  A clean tree
+   must replay green; this is also what CI's corpus-replay step runs.
+2. **Search** — mutated descendants of the seeds are checked under the
+   quick oracle profile.  Inputs that reach new coverage in
+   ``repro.chase``/``repro.storage`` join the live pool; inputs that
+   diverge are shrunk to a minimal reproduction and reported (and saved
+   when a save directory is given).
+
+Determinism: with a fixed ``--seed`` and ``--max-cases`` the run is a pure
+function of the repository state.  A wall-clock time budget only *bounds
+the number of iterations* — the sequence of generated cases is unchanged,
+the clock merely decides where it is cut off.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..chase.result import ChaseLimits
+from ..core.instances import Database
+from ..core.tgds import TGDSet
+from ..exceptions import ParseError, ReproError
+from ..generators.adversarial import FAMILY_NAMES, adversarial_cases
+from .corpus import FuzzCase, case_from_program, load_corpus, save_case
+from .coverage_map import trace_probe
+from .mutate import MutationFailed, mutate_many
+from .oracles import DEFAULT_LIMITS, Divergence, run_all_oracles
+from .shrink import shrink
+
+Program = Tuple[Database, TGDSet]
+
+#: Cheap reference run used only for the coverage probe (never an oracle).
+PROBE_LIMITS = ChaseLimits(max_atoms=80, max_rounds=4)
+
+
+@dataclass(frozen=True)
+class CaseOutcome:
+    """Replay verdict for one corpus case or generated input."""
+
+    case: FuzzCase
+    status: str  # "ok" | "divergent" | "waived"
+    divergences: Tuple[Divergence, ...] = ()
+
+
+@dataclass
+class FuzzReport:
+    """Everything a fuzzing or replay run found."""
+
+    cases_run: int = 0
+    seeds_loaded: int = 0
+    divergent: List[CaseOutcome] = field(default_factory=list)
+    waived: List[FuzzCase] = field(default_factory=list)
+    coverage_edges: int = 0
+    pool_size: int = 0
+    interrupted: bool = False
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergent and not self.interrupted
+
+    def summary(self) -> str:
+        status = "INTERRUPTED" if self.interrupted else ("CLEAN" if self.ok else "DIVERGENT")
+        return (
+            f"{status}: {self.cases_run} cases ({self.seeds_loaded} seeds), "
+            f"{len(self.divergent)} divergent, {len(self.waived)} waived, "
+            f"{self.coverage_edges} coverage edges, pool {self.pool_size}, "
+            f"{self.elapsed_seconds:.1f}s"
+        )
+
+
+def _monotonic() -> float:
+    # reprolint: disable=determinism -- wall clock only bounds how many iterations run, never the content of any generated case
+    return time.monotonic()
+
+
+def replay_case(
+    case: FuzzCase,
+    limits: ChaseLimits = DEFAULT_LIMITS,
+    pools: str = "full",
+) -> CaseOutcome:
+    """Run one corpus case through the oracle battery it encodes."""
+    if case.waived is not None:
+        return CaseOutcome(case, "waived")
+    if case.expect == "parse-error":
+        try:
+            case.program()
+        except ParseError:
+            return CaseOutcome(case, "ok")
+        except ReproError as error:
+            return CaseOutcome(
+                case,
+                "divergent",
+                (
+                    Divergence(
+                        "expectation",
+                        case.name,
+                        f"expected ParseError, got {type(error).__name__}: {error}",
+                    ),
+                ),
+            )
+        return CaseOutcome(
+            case,
+            "divergent",
+            (Divergence("expectation", case.name, "expected ParseError, but the case parsed"),),
+        )
+    try:
+        database, tgds = case.program()
+    except ReproError as error:
+        return CaseOutcome(
+            case,
+            "divergent",
+            (
+                Divergence(
+                    "expectation",
+                    case.name,
+                    f"conform case failed to parse: {type(error).__name__}: {error}",
+                ),
+            ),
+        )
+    divergences = run_all_oracles(database, tgds, limits=limits, pools=pools)
+    if divergences:
+        return CaseOutcome(case, "divergent", tuple(divergences))
+    return CaseOutcome(case, "ok")
+
+
+def replay_corpus(
+    corpus_dir,
+    limits: ChaseLimits = DEFAULT_LIMITS,
+    pools: str = "full",
+    log: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Replay every committed case; waived cases are reported, not run."""
+    started = _monotonic()
+    report = FuzzReport()
+    cases = load_corpus(corpus_dir)
+    report.seeds_loaded = len(cases)
+    for case in cases:
+        outcome = replay_case(case, limits=limits, pools=pools)
+        if outcome.status == "waived":
+            report.waived.append(case)
+            if log:
+                log(f"waived   {case.name}: {case.waived}")
+            continue
+        report.cases_run += 1
+        if outcome.status == "divergent":
+            report.divergent.append(outcome)
+            if log:
+                for divergence in outcome.divergences:
+                    log(f"DIVERGED {case.name}: {divergence}")
+        elif log:
+            log(f"ok       {case.name}")
+    report.elapsed_seconds = _monotonic() - started
+    return report
+
+
+def _seed_programs(
+    corpus_dir,
+    families: Optional[Sequence[str]],
+    seed: int,
+    scale: float,
+) -> List[Tuple[str, Program]]:
+    """Deterministic seed pool: corpus conform cases + adversarial families."""
+    pool: List[Tuple[str, Program]] = []
+    if corpus_dir is not None:
+        for case in load_corpus(corpus_dir):
+            if case.expect != "conform" or case.waived is not None:
+                continue
+            try:
+                pool.append((case.name, case.program()))
+            except ReproError:
+                # Replay reports this as a divergence; the search phase
+                # simply has one seed fewer.
+                continue
+    for adversarial in adversarial_cases(seed=seed, scale=scale, families=families):
+        pool.append((adversarial.name, (adversarial.database, adversarial.tgds)))
+    return pool
+
+
+def _probe_edges(database: Database, tgds: TGDSet):
+    from ..chase.engine import chase
+
+    def probe() -> None:
+        chase(database, tgds, limits=PROBE_LIMITS)
+        chase(
+            database,
+            tgds,
+            limits=PROBE_LIMITS,
+            backend="sqlite",
+            strategy="sql-pushdown",
+        )
+
+    try:
+        return trace_probe(probe)
+    except ReproError:
+        return frozenset()
+
+
+def fuzz(
+    time_budget: Optional[float] = None,
+    max_cases: Optional[int] = None,
+    corpus_dir=None,
+    seed: int = 0,
+    pools: str = "quick",
+    families: Optional[Sequence[str]] = None,
+    limits: ChaseLimits = DEFAULT_LIMITS,
+    save_dir=None,
+    scale: float = 1.0,
+    log: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Run the full fuzzing loop and return its report.
+
+    With neither *time_budget* nor *max_cases* given, the search phase runs
+    a default 50 mutated cases on top of the seed replay.
+    """
+    started = _monotonic()
+    if time_budget is None and max_cases is None:
+        max_cases = 50
+    deadline = None if time_budget is None else started + time_budget
+    rng = random.Random(  # reprolint: disable=determinism -- seeded: the run is a pure function of --seed
+        f"repro-fuzz:{seed}"
+    )
+    report = FuzzReport()
+    known_families = set(FAMILY_NAMES)
+    if families is not None:
+        unknown = sorted(set(families) - known_families)
+        if unknown:
+            raise ParseError(f"unknown adversarial families: {', '.join(unknown)}")
+
+    try:
+        # Phase 1: replay all seeds through the oracles; build the live pool.
+        pool = _seed_programs(corpus_dir, families, seed, scale)
+        report.seeds_loaded = len(pool)
+        edges = set()
+        for name, (database, tgds) in pool:
+            report.cases_run += 1
+            divergences = run_all_oracles(database, tgds, limits=limits, pools=pools)
+            if divergences:
+                case = case_from_program(name, database, tgds, note="seed input")
+                report.divergent.append(CaseOutcome(case, "divergent", tuple(divergences)))
+                if log:
+                    log(f"DIVERGED seed {name}: {divergences[0]}")
+            edges |= _probe_edges(database, tgds)
+            if deadline is not None and _monotonic() >= deadline:
+                break
+
+        # Phase 2: coverage-guided mutation search.
+        counter = 0
+        while True:
+            if deadline is not None and _monotonic() >= deadline:
+                break
+            if max_cases is not None and counter >= max_cases:
+                break
+            if not pool:
+                break
+            counter += 1
+            report.cases_run += 1
+            origin, (database, tgds) = pool[rng.randrange(len(pool))]
+            try:
+                (mutated_db, mutated_tgds), applied = mutate_many(
+                    rng, database, tgds, count=rng.randint(1, 3)
+                )
+            except MutationFailed:
+                continue
+            divergences = run_all_oracles(
+                mutated_db, mutated_tgds, limits=limits, pools=pools
+            )
+            if divergences:
+                def still_diverges(db: Database, rules: TGDSet) -> bool:
+                    return bool(run_all_oracles(db, rules, limits=limits, pools=pools))
+
+                small_db, small_tgds = shrink(
+                    mutated_db, mutated_tgds, still_diverges, max_checks=150
+                )
+                name = f"fuzz-{seed}-{counter:04d}"
+                case = case_from_program(
+                    name,
+                    small_db,
+                    small_tgds,
+                    note=f"mutated from {origin} via {'+'.join(applied)}",
+                )
+                final = run_all_oracles(small_db, small_tgds, limits=limits, pools=pools)
+                report.divergent.append(CaseOutcome(case, "divergent", tuple(final)))
+                if log:
+                    log(f"DIVERGED {name} (from {origin}): {final[0] if final else divergences[0]}")
+                if save_dir is not None:
+                    save_case(case, save_dir)
+                continue
+            gained = _probe_edges(mutated_db, mutated_tgds) - edges
+            if gained:
+                edges |= gained
+                pool.append((f"pool-{counter}", (mutated_db, mutated_tgds)))
+                if log:
+                    log(f"new coverage (+{len(gained)}) from {origin}; pool={len(pool)}")
+        report.coverage_edges = len(edges)
+        report.pool_size = len(pool)
+    except KeyboardInterrupt:
+        report.interrupted = True
+    report.elapsed_seconds = _monotonic() - started
+    return report

@@ -1,0 +1,329 @@
+"""Mutation operators over chase programs.
+
+Each operator is a pure function of ``(rng, database, tgds)`` returning a
+*new* program; inapplicable operators raise :class:`MutationFailed` and the
+driver moves on.  Operators deliberately target the spots the adversarial
+families aim at: join-key skew, self-joins, existential churn, nullary
+predicates, and gnarly constant names.
+
+Structural validity is enforced by the core types themselves —
+:class:`~repro.core.tgds.TGD` rejects empty frontiers, constants in rules,
+and unsafe heads — so operators simply attempt the edit and translate a
+:class:`ValidationError` (or ``TypeError`` from term constructors) into
+:class:`MutationFailed`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Tuple
+
+from ..core.atoms import Atom
+from ..core.instances import Database
+from ..core.predicates import Predicate
+from ..core.terms import Constant, Variable
+from ..core.tgds import TGD, TGDSet
+from ..exceptions import ValidationError
+from ..generators.adversarial import GNARLY_CONSTANTS
+
+Program = Tuple[Database, TGDSet]
+
+
+class MutationFailed(Exception):
+    """Raised by an operator that does not apply to the given program."""
+
+
+_OPERATORS: Dict[str, Callable[[random.Random, Database, TGDSet], Program]] = {}
+
+
+def _operator(name: str):
+    def register(func):
+        _OPERATORS[name] = func
+        return func
+
+    return register
+
+
+def _copy_database(database: Database) -> Database:
+    fresh = Database()
+    for atom in database:
+        fresh.add(atom)
+    return fresh
+
+
+def _pick_fact(rng: random.Random, database: Database) -> Atom:
+    facts = sorted(database, key=str)
+    if not facts:
+        raise MutationFailed("empty database")
+    return rng.choice(facts)
+
+
+def _pick_rule(rng: random.Random, tgds: TGDSet) -> TGD:
+    rules = list(tgds)
+    if not rules:
+        raise MutationFailed("empty rule set")
+    return rng.choice(rules)
+
+
+def _pick_constant(rng: random.Random, database: Database) -> Constant:
+    constants = sorted(
+        {term for atom in database for term in atom.terms if isinstance(term, Constant)},
+        key=lambda c: c.name,
+    )
+    if not constants:
+        raise MutationFailed("no constants")
+    return rng.choice(constants)
+
+
+def _replace_rule(tgds: TGDSet, old: TGD, new: TGD) -> TGDSet:
+    return TGDSet([new if tgd == old else tgd for tgd in tgds])
+
+
+def _rebuild_rule(rule: TGD, body, head) -> TGD:
+    try:
+        return TGD(tuple(body), tuple(head), label=rule.label)
+    except (ValidationError, ValueError) as error:
+        raise MutationFailed(str(error)) from error
+
+
+@_operator("add-fact")
+def _add_fact(rng: random.Random, database: Database, tgds: TGDSet) -> Program:
+    """Add a fresh fact over an existing predicate."""
+    predicates = tgds.schema().predicates
+    if not predicates:
+        raise MutationFailed("no predicates")
+    predicate = rng.choice(predicates)
+    pool = [_pick_constant(rng, database)] if len(database) else []
+    pool.extend(Constant(name) for name in rng.sample(GNARLY_CONSTANTS, 2))
+    pool.append(Constant(f"m{rng.randint(0, 9)}"))
+    terms = tuple(rng.choice(pool) for _ in range(predicate.arity))
+    fresh = _copy_database(database)
+    if not fresh.add(Atom(predicate, terms)):
+        raise MutationFailed("fact already present")
+    return fresh, tgds
+
+
+@_operator("drop-fact")
+def _drop_fact(rng: random.Random, database: Database, tgds: TGDSet) -> Program:
+    if len(database) <= 1:
+        raise MutationFailed("would empty the database")
+    victim = _pick_fact(rng, database)
+    fresh = Database()
+    for atom in database:
+        if atom != victim:
+            fresh.add(atom)
+    return fresh, tgds
+
+
+@_operator("skew-fact")
+def _skew_fact(rng: random.Random, database: Database, tgds: TGDSet) -> Program:
+    """Clone an existing fact with one position redirected to a hub constant
+    — pumps join-key skew into ``partition_positions``."""
+    template = _pick_fact(rng, database)
+    if not template.terms:
+        raise MutationFailed("nullary template")
+    hub = _pick_constant(rng, database)
+    position = rng.randrange(len(template.terms))
+    spread = Constant(f"spread{rng.randint(0, 99)}")
+    terms = tuple(
+        hub if index == position else (spread if rng.random() < 0.5 else term)
+        for index, term in enumerate(template.terms)
+    )
+    fresh = _copy_database(database)
+    if not fresh.add(Atom(template.predicate, terms)):
+        raise MutationFailed("skewed fact already present")
+    return fresh, tgds
+
+
+@_operator("gnarly-rename")
+def _gnarly_rename(rng: random.Random, database: Database, tgds: TGDSet) -> Program:
+    """Rename one constant to a gnarly name throughout the database."""
+    target = _pick_constant(rng, database)
+    replacement = Constant(rng.choice(GNARLY_CONSTANTS))
+    if replacement == target:
+        raise MutationFailed("rename is identity")
+    fresh = Database()
+    for atom in database:
+        terms = tuple(replacement if term == target else term for term in atom.terms)
+        fresh.add(Atom(atom.predicate, terms))
+    return fresh, tgds
+
+
+@_operator("drop-rule")
+def _drop_rule(rng: random.Random, database: Database, tgds: TGDSet) -> Program:
+    if len(tgds) <= 1:
+        raise MutationFailed("would empty the rule set")
+    victim = _pick_rule(rng, tgds)
+    return database, TGDSet([tgd for tgd in tgds if tgd != victim])
+
+
+@_operator("clone-rule-permuted")
+def _clone_rule_permuted(rng: random.Random, database: Database, tgds: TGDSet) -> Program:
+    """Add a copy of a rule with its body atoms reordered: semantically the
+    same constraint, but a distinct TGD that every join planner must agree
+    on byte-for-byte."""
+    rule = _pick_rule(rng, tgds)
+    if len(rule.body) < 2:
+        raise MutationFailed("single-atom body has no permutations")
+    body = list(rule.body)
+    rng.shuffle(body)
+    if tuple(body) == rule.body:
+        body.reverse()
+    clone = _rebuild_rule(rule, body, rule.head)
+    fresh = TGDSet(tgds)
+    if not fresh.add(clone):
+        raise MutationFailed("permuted clone already present")
+    return database, fresh
+
+
+@_operator("swap-body-variable")
+def _swap_body_variable(rng: random.Random, database: Database, tgds: TGDSet) -> Program:
+    """Unify two body variables (everywhere in the rule) — creates
+    self-join-like repeated positions."""
+    rule = _pick_rule(rng, tgds)
+    variables = sorted(rule.body_variables(), key=lambda v: v.name)
+    if len(variables) < 2:
+        raise MutationFailed("not enough body variables")
+    old, new = rng.sample(variables, 2)
+
+    def substitute(atom: Atom) -> Atom:
+        return Atom(
+            atom.predicate,
+            tuple(new if term == old else term for term in atom.terms),
+        )
+
+    mutated = _rebuild_rule(
+        rule, [substitute(a) for a in rule.body], [substitute(a) for a in rule.head]
+    )
+    fresh = _replace_rule(tgds, rule, mutated)
+    if fresh == tgds:
+        raise MutationFailed("swap produced an existing rule")
+    return database, fresh
+
+
+@_operator("add-body-atom")
+def _add_body_atom(rng: random.Random, database: Database, tgds: TGDSet) -> Program:
+    rule = _pick_rule(rng, tgds)
+    predicates = tgds.schema().predicates
+    variables = sorted(rule.body_variables(), key=lambda v: v.name)
+    if not variables:
+        # An empty-frontier rule like G() -> Q(z) has no body variables to
+        # fill a positive-arity atom with; only nullary gates can be added.
+        predicates = tuple(p for p in predicates if p.arity == 0)
+    if not predicates:
+        raise MutationFailed("no predicate fits a variable-free body")
+    predicate = rng.choice(predicates)
+    terms = tuple(rng.choice(variables) for _ in range(predicate.arity))
+    mutated = _rebuild_rule(rule, list(rule.body) + [Atom(predicate, terms)], rule.head)
+    fresh = _replace_rule(tgds, rule, mutated)
+    if fresh == tgds:
+        raise MutationFailed("atom addition produced an existing rule")
+    return database, fresh
+
+
+@_operator("drop-body-atom")
+def _drop_body_atom(rng: random.Random, database: Database, tgds: TGDSet) -> Program:
+    rule = _pick_rule(rng, tgds)
+    if len(rule.body) < 2:
+        raise MutationFailed("single-atom body")
+    index = rng.randrange(len(rule.body))
+    body = [atom for at, atom in enumerate(rule.body) if at != index]
+    mutated = _rebuild_rule(rule, body, rule.head)
+    fresh = _replace_rule(tgds, rule, mutated)
+    if fresh == tgds:
+        raise MutationFailed("atom drop produced an existing rule")
+    return database, fresh
+
+
+@_operator("make-existential")
+def _make_existential(rng: random.Random, database: Database, tgds: TGDSet) -> Program:
+    """Replace one head variable occurrence with a fresh existential —
+    null-churn pressure on skolem/NullFactory naming."""
+    rule = _pick_rule(rng, tgds)
+    fresh_var = Variable(f"zf{rng.randint(0, 9)}")
+    if fresh_var in rule.body_variables() or fresh_var in rule.head_variables():
+        raise MutationFailed("fresh variable collides")
+    positions = [
+        (atom_index, term_index)
+        for atom_index, atom in enumerate(rule.head)
+        for term_index, term in enumerate(atom.terms)
+        if isinstance(term, Variable)
+    ]
+    if not positions:
+        raise MutationFailed("no head variable positions")
+    atom_index, term_index = rng.choice(positions)
+    head = list(rule.head)
+    target = head[atom_index]
+    head[atom_index] = Atom(
+        target.predicate,
+        tuple(
+            fresh_var if index == term_index else term
+            for index, term in enumerate(target.terms)
+        ),
+    )
+    mutated = _rebuild_rule(rule, rule.body, head)
+    fresh = _replace_rule(tgds, rule, mutated)
+    if fresh == tgds:
+        raise MutationFailed("existential swap produced an existing rule")
+    return database, fresh
+
+
+@_operator("nullary-gate")
+def _nullary_gate(rng: random.Random, database: Database, tgds: TGDSet) -> Program:
+    """Gate a rule behind a nullary predicate and assert the gate fact."""
+    rule = _pick_rule(rng, tgds)
+    gate = Predicate(f"Gate{rng.randint(0, 3)}", 0)
+    if any(atom.predicate == gate for atom in rule.body):
+        raise MutationFailed("already gated")
+    mutated = _rebuild_rule(rule, list(rule.body) + [Atom(gate, ())], rule.head)
+    fresh_rules = _replace_rule(tgds, rule, mutated)
+    if fresh_rules == tgds:
+        raise MutationFailed("gating produced an existing rule")
+    fresh_db = _copy_database(database)
+    fresh_db.add(Atom(gate, ()))
+    return fresh_db, fresh_rules
+
+
+#: Stable operator registry (sorted names → deterministic choice order).
+OPERATOR_NAMES: Tuple[str, ...] = tuple(sorted(_OPERATORS))
+
+
+def mutate(
+    rng: random.Random,
+    database: Database,
+    tgds: TGDSet,
+    attempts: int = 12,
+) -> Tuple[Program, str]:
+    """Apply one randomly chosen applicable operator.
+
+    Tries up to *attempts* operators before giving up; returns the mutated
+    program and the operator name.  Raises :class:`MutationFailed` if no
+    operator applies (tiny degenerate programs).
+    """
+    for _ in range(attempts):
+        name = rng.choice(OPERATOR_NAMES)
+        try:
+            return _OPERATORS[name](rng, database, tgds), name
+        except MutationFailed:
+            continue
+    raise MutationFailed("no applicable mutation operator")
+
+
+def mutate_many(
+    rng: random.Random,
+    database: Database,
+    tgds: TGDSet,
+    count: int,
+) -> Tuple[Program, List[str]]:
+    """Apply up to *count* stacked mutations (best effort)."""
+    applied: List[str] = []
+    program: Program = (database, tgds)
+    for _ in range(count):
+        try:
+            program, name = mutate(rng, program[0], program[1])
+        except MutationFailed:
+            break
+        applied.append(name)
+    if not applied:
+        raise MutationFailed("no applicable mutation operator")
+    return program, applied

@@ -1,5 +1,12 @@
 """Shape-controlled data and TGD generators plus the paper's workload profiles."""
 
+from .adversarial import (
+    FAMILY_NAMES,
+    GNARLY_CONSTANTS,
+    AdversarialCase,
+    adversarial_cases,
+    generate_case,
+)
 from .data_generator import DataGenerator, DataGeneratorConfig, generate_database
 from .profiles import (
     CombinedProfile,
@@ -24,10 +31,13 @@ from .tgd_generator import (
 )
 
 __all__ = [
+    "AdversarialCase",
     "CombinedProfile",
     "DEFAULT_EXISTENTIAL_PROBABILITY",
     "DataGenerator",
     "DataGeneratorConfig",
+    "FAMILY_NAMES",
+    "GNARLY_CONSTANTS",
     "PAPER_ARITY_RANGE",
     "PAPER_PREDICATE_PROFILES",
     "PAPER_SCHEMA_SIZE",
@@ -37,8 +47,10 @@ __all__ = [
     "TGDGenerator",
     "TGDGeneratorConfig",
     "TGDProfile",
+    "adversarial_cases",
     "combined_profiles",
     "database_sizes",
+    "generate_case",
     "generate_database",
     "generate_tgds",
     "make_schema",

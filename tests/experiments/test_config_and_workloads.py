@@ -3,8 +3,9 @@
 import pytest
 
 from repro.exceptions import ExperimentConfigError
-from repro.experiments.config import DEFAULT, PAPER, SMOKE, ExperimentConfig, preset
+from repro.experiments.config import DEFAULT, MEDIUM, PAPER, SMOKE, ExperimentConfig, preset
 from repro.experiments.workloads import (
+    adversarial_workloads,
     build_dstar,
     dstar_views,
     global_schema,
@@ -85,3 +86,33 @@ class TestWorkloads:
         first = [w.rules_text for w in simple_linear_workloads(SMOKE)]
         second = [w.rules_text for w in simple_linear_workloads(SMOKE)]
         assert first == second
+
+
+class TestAdversarialWorkloads:
+    def test_every_family_is_loaded_once_by_default(self):
+        from repro.generators.adversarial import FAMILY_NAMES
+
+        workloads = list(adversarial_workloads(SMOKE))
+        assert [w.family for w in workloads] == sorted(FAMILY_NAMES)
+        for workload in workloads:
+            assert workload.n_rules >= 1
+            assert len(workload.database) >= 1
+            assert workload.notes
+
+    def test_loader_is_reproducible_and_family_selectable(self):
+        first = [w.rules_text for w in adversarial_workloads(MEDIUM)]
+        second = [w.rules_text for w in adversarial_workloads(MEDIUM)]
+        assert first == second
+        skew = list(adversarial_workloads(SMOKE, families=("heavy_skew",), per_family=2))
+        assert [w.family for w in skew] == ["heavy_skew", "heavy_skew"]
+        assert skew[0].seed != skew[1].seed
+
+    def test_rules_text_matches_the_parsed_rules(self):
+        from repro.core.parser import parse_rules
+
+        for workload in adversarial_workloads(SMOKE):
+            assert set(parse_rules(workload.rules_text)) == set(workload.tgds)
+
+    def test_medium_preset_sits_between_smoke_and_default(self):
+        assert SMOKE.tgd_scale < MEDIUM.tgd_scale < DEFAULT.tgd_scale
+        assert preset("medium") is MEDIUM

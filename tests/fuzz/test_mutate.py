@@ -1,0 +1,121 @@
+"""Mutation operators: determinism, validity, and registry coverage."""
+
+import random
+
+import pytest
+
+from repro.core.parser import parse_database, parse_rules
+from repro.core.serializer import serialize_database, serialize_rules
+from repro.fuzz import OPERATOR_NAMES, MutationFailed, mutate, mutate_many
+from repro.fuzz.mutate import _OPERATORS
+from repro.generators import generate_case
+
+
+def program_for(family="sticky", seed=0):
+    case = generate_case(family, seed=seed)
+    return case.database, case.tgds
+
+
+def test_registry_is_sorted_and_non_trivial():
+    assert OPERATOR_NAMES == tuple(sorted(OPERATOR_NAMES))
+    assert len(OPERATOR_NAMES) >= 10
+
+
+def test_mutate_is_deterministic_under_seeded_rng():
+    database, tgds = program_for()
+    first, name_a = mutate(random.Random("m"), database, tgds)
+    second, name_b = mutate(random.Random("m"), database, tgds)
+    assert name_a == name_b
+    assert first[1] == second[1]
+    assert set(first[0]) == set(second[0])
+
+
+def test_mutate_does_not_modify_the_input_program():
+    database, tgds = program_for()
+    before_facts = set(database)
+    before_rules = set(tgds)
+    for attempt in range(10):
+        mutate(random.Random(attempt), database, tgds)
+    assert set(database) == before_facts
+    assert set(tgds) == before_rules
+
+
+@pytest.mark.parametrize("name", sorted(_OPERATORS))
+def test_each_operator_output_round_trips(name):
+    """Whenever an operator applies, its output is a valid, parseable program."""
+    operator = _OPERATORS[name]
+    applied = 0
+    for family in ("sticky", "self_join", "guarded", "null_churn"):
+        database, tgds = program_for(family)
+        for attempt in range(20):
+            rng = random.Random(f"{name}:{family}:{attempt}")
+            try:
+                mutated_db, mutated_tgds = operator(rng, database, tgds)
+            except MutationFailed:
+                continue
+            applied += 1
+            assert set(parse_rules(serialize_rules(mutated_tgds))) == set(mutated_tgds)
+            assert set(parse_database(serialize_database(mutated_db))) == set(mutated_db)
+            break
+    assert applied, f"operator {name} never applied to any family"
+
+
+def test_mutate_many_stacks_operators():
+    database, tgds = program_for("guarded")
+    (mutated_db, mutated_tgds), applied = mutate_many(
+        random.Random("stack"), database, tgds, count=3
+    )
+    assert 1 <= len(applied) <= 3
+    assert all(name in OPERATOR_NAMES for name in applied)
+    changed = set(mutated_db) != set(database) or set(mutated_tgds) != set(tgds)
+    assert changed
+
+
+def test_mutate_many_raises_when_nothing_applies():
+    from repro.core.instances import Database
+    from repro.core.tgds import TGDSet
+
+    with pytest.raises(MutationFailed):
+        mutate_many(random.Random(0), Database(), TGDSet(), count=2)
+
+
+class TestEmptyFrontierRules:
+    """Regression: add-body-atom crashed with IndexError on rules like
+    ``G() -> Q(z)`` (legal empty-frontier TGDs with zero body variables),
+    reachable by drop-body-atom on a gated rule.  Found by fuzzing the
+    nullary-gate corpus seed."""
+
+    def _bodiless_program(self):
+        tgds = parse_rules("G() -> Q(z)")
+        database = parse_database("G().")
+        return database, tgds
+
+    def test_add_body_atom_never_raises_index_error(self):
+        from repro.fuzz.mutate import _add_body_atom
+
+        database, tgds = self._bodiless_program()
+        for attempt in range(30):
+            rng = random.Random(f"bodiless:{attempt}")
+            try:
+                _, mutated_tgds = _add_body_atom(rng, database, tgds)
+            except MutationFailed:
+                continue
+            # Only nullary atoms can join a variable-free body.
+            for rule in mutated_tgds:
+                for atom in rule.body:
+                    assert atom.predicate.arity == 0 or rule.body_variables()
+
+    def test_mutation_chain_from_nullary_gate_seed_survives(self):
+        # The exact failure path: gate a rule, drop the variable-bearing
+        # body atom, then keep mutating — must never escape MutationFailed.
+        database = parse_database("G().\nP(a).")
+        tgds = parse_rules("G(), P(x) -> Q(x)\nQ(x) -> R(x,y)")
+        rng = random.Random("chain")
+        for _ in range(300):
+            try:
+                (database2, tgds2), _applied = mutate_many(
+                    rng, database, tgds, count=rng.randint(1, 3)
+                )
+            except MutationFailed:
+                continue
+            database, tgds = database2, tgds2

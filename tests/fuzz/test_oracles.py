@@ -1,0 +1,115 @@
+"""Oracle battery: clean programs pass, doctored results are flagged."""
+
+import pytest
+
+from repro.chase.result import ChaseLimits, ChaseResult
+from repro.core.atoms import Atom
+from repro.core.instances import Database, Instance
+from repro.core.predicates import Predicate
+from repro.core.terms import Constant, Variable
+from repro.core.tgds import TGD, TGDSet
+from repro.fuzz import (
+    DEFAULT_LIMITS,
+    check_budget_accounting,
+    check_engine_identity,
+    check_round_trip,
+    check_termination_oracle,
+    run_all_oracles,
+)
+from repro.generators import FAMILY_NAMES, generate_case
+
+P, Q, R = Predicate("P", 1), Predicate("Q", 1), Predicate("R", 2)
+x, y = Variable("x"), Variable("y")
+
+
+def simple_program():
+    tgds = TGDSet([TGD((Atom(P, (x,)),), (Atom(Q, (x,)),))])
+    database = Database()
+    database.add(Atom(P, (Constant("a"),)))
+    return database, tgds
+
+
+def test_clean_program_has_no_divergences():
+    database, tgds = simple_program()
+    assert run_all_oracles(database, tgds, pools="quick") == []
+
+
+@pytest.mark.parametrize("family", FAMILY_NAMES)
+def test_adversarial_families_replay_clean(family):
+    """The acceptance bar: every family passes the battery at head."""
+    case = generate_case(family, seed=0)
+    divergences = run_all_oracles(case.database, case.tgds, pools="quick")
+    assert divergences == [], [str(d) for d in divergences]
+
+
+def test_round_trip_oracle_passes_on_gnarly_constants():
+    database, tgds = simple_program()
+    database.add(Atom(P, (Constant("100%"),)))
+    database.add(Atom(P, (Constant('qu"ote'),)))
+    assert check_round_trip(database, tgds) == []
+
+
+def test_budget_accounting_flags_inconsistent_size():
+    instance = Instance([Atom(P, (Constant("a"),))])
+    result = ChaseResult(
+        terminated=True, rounds=1, atoms_created=5, triggers_fired=1, store=instance
+    )
+    flagged = check_budget_accounting(result, seed_atoms=1, limits=DEFAULT_LIMITS, subject="t")
+    assert any("atoms_created" in d.detail for d in flagged)
+
+
+def test_budget_accounting_flags_bad_stop_reason():
+    instance = Instance([Atom(P, (Constant("a"),))])
+    result = ChaseResult(
+        terminated=False, rounds=1, stop_reason="gave-up", store=instance
+    )
+    flagged = check_budget_accounting(result, seed_atoms=1, limits=DEFAULT_LIMITS, subject="t")
+    assert any("undocumented stop_reason" in d.detail for d in flagged)
+
+
+def test_budget_accounting_flags_terminated_mismatch():
+    instance = Instance([Atom(P, (Constant("a"),))])
+    result = ChaseResult(
+        terminated=False, rounds=1, stop_reason="fixpoint", store=instance
+    )
+    flagged = check_budget_accounting(result, seed_atoms=1, limits=DEFAULT_LIMITS, subject="t")
+    assert any("inconsistent" in d.detail for d in flagged)
+
+
+def test_budget_accounting_flags_budgetless_stop():
+    instance = Instance([Atom(P, (Constant("a"),))])
+    result = ChaseResult(
+        terminated=False, rounds=1, stop_reason="max_atoms", store=instance
+    )
+    no_budget = ChaseLimits(max_atoms=None, max_rounds=None)
+    flagged = check_budget_accounting(result, seed_atoms=1, limits=no_budget, subject="t")
+    assert any("no atom budget" in d.detail for d in flagged)
+
+
+def test_clean_result_passes_budget_accounting():
+    instance = Instance([Atom(P, (Constant("a"),)), Atom(Q, (Constant("a"),))])
+    result = ChaseResult(
+        terminated=True, rounds=2, atoms_created=1, triggers_fired=1, store=instance
+    )
+    assert check_budget_accounting(result, seed_atoms=1, limits=DEFAULT_LIMITS, subject="t") == []
+
+
+def test_engine_identity_covers_non_terminating_prefixes():
+    """An infinite chase under a small budget still compares byte-identically."""
+    case = generate_case("termination_boundary", seed=0)
+    limits = ChaseLimits(max_atoms=60, max_rounds=6)
+    assert check_engine_identity(case.database, case.tgds, limits=limits, pools="quick") == []
+
+
+def test_termination_oracle_skips_non_linear_rules():
+    tgds = TGDSet([TGD((Atom(P, (x,)), Atom(Q, (x,))), (Atom(R, (x, x)),))])
+    database = Database()
+    database.add(Atom(P, (Constant("a"),)))
+    assert not tgds.is_linear()
+    assert check_termination_oracle(database, tgds) == []
+
+
+def test_termination_oracle_runs_on_linear_rules():
+    database, tgds = simple_program()
+    assert tgds.is_linear()
+    assert check_termination_oracle(database, tgds) == []

@@ -1,0 +1,98 @@
+"""Shrinker: minimization preserves interestingness and reduces size."""
+
+from repro.core.atoms import Atom
+from repro.core.instances import Database
+from repro.core.predicates import Predicate
+from repro.core.terms import Constant, Variable
+from repro.core.tgds import TGD, TGDSet
+from repro.fuzz import program_size, shrink
+from repro.generators import generate_case
+
+P, Q, R = Predicate("P", 1), Predicate("Q", 1), Predicate("R", 2)
+x, y = Variable("x"), Variable("y")
+
+
+def bulky_program():
+    tgds = TGDSet(
+        [
+            TGD((Atom(P, (x,)),), (Atom(Q, (x,)),), label="keep"),
+            TGD((Atom(R, (x, y)),), (Atom(P, (x,)), Atom(Q, (y,))), label="chaff1"),
+            TGD((Atom(Q, (x,)), Atom(P, (x,))), (Atom(R, (x, x)),), label="chaff2"),
+        ]
+    )
+    database = Database()
+    database.add(Atom(P, (Constant("needle%"),)))
+    for index in range(5):
+        database.add(Atom(R, (Constant(f"pad{index}"), Constant("filler"))))
+    return database, tgds
+
+
+def has_needle(database, tgds) -> bool:
+    return any(
+        isinstance(term, Constant) and term.name == "needle%"
+        for atom in database
+        for term in atom.terms
+    )
+
+
+def test_shrink_preserves_predicate_and_reduces_size():
+    database, tgds = bulky_program()
+    before = program_size(database, tgds)
+    small_db, small_tgds = shrink(database, tgds, has_needle)
+    assert has_needle(small_db, small_tgds)
+    assert program_size(small_db, small_tgds) < before
+    # Minimal: one fact carrying the needle, one surviving rule.
+    assert len(small_db) == 1
+    assert len(small_tgds) == 1
+
+
+def test_shrink_canonicalizes_irrelevant_constants():
+    database, tgds = bulky_program()
+
+    def two_facts(db, rules) -> bool:
+        return has_needle(db, rules) and len(db) >= 2
+
+    small_db, _ = shrink(database, tgds, two_facts)
+    names = sorted(
+        term.name for atom in small_db for term in atom.terms if isinstance(term, Constant)
+    )
+    # The needle survives verbatim; the padding collapses to canonical names.
+    assert "needle%" in names
+    assert all(name == "needle%" or name.startswith("c") for name in names)
+
+
+def test_shrink_round_trips_interesting_adversarial_case():
+    """Shrinking with an always-true predicate converges to a tiny program
+    that still parses — the 'shrinking round-trip' guard."""
+    from repro.core.parser import parse_database, parse_rules
+    from repro.core.serializer import serialize_database, serialize_rules
+
+    case = generate_case("guarded", seed=1)
+    small_db, small_tgds = shrink(case.database, case.tgds, lambda db, rules: True)
+    assert len(small_tgds) == 1
+    assert len(small_db) == 1
+    assert set(parse_rules(serialize_rules(small_tgds))) == set(small_tgds)
+    assert set(parse_database(serialize_database(small_db))) == set(small_db)
+
+
+def test_shrink_respects_check_budget():
+    database, tgds = bulky_program()
+    calls = []
+
+    def counting(db, rules) -> bool:
+        calls.append(1)
+        return has_needle(db, rules)
+
+    shrink(database, tgds, counting, max_checks=5)
+    assert len(calls) <= 5
+
+
+def test_shrink_returns_input_when_nothing_smaller_is_interesting():
+    database, tgds = bulky_program()
+    frozen = (set(database), set(tgds))
+
+    def exact(db, rules) -> bool:
+        return (set(db), set(rules)) == frozen
+
+    small_db, small_tgds = shrink(database, tgds, exact)
+    assert (set(small_db), set(small_tgds)) == frozen

@@ -1,0 +1,51 @@
+"""Minimized regression for the CLI input-error contract (fuzzing PR).
+
+Bug: ``repro-experiments check``/``chase`` leaked raw tracebacks when the
+rule or fact file was missing or malformed.  The documented contract (see
+``docs/cli.md``) is exit code 2 with a one-line message on stderr, never a
+traceback — pinned here with the smallest failing inputs.
+"""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+@pytest.fixture
+def rules_file(tmp_path):
+    path = tmp_path / "rules.txt"
+    path.write_text("P(x) -> Q(x)\n")
+    return path
+
+
+def assert_one_line_error(code, err):
+    assert code == 2
+    assert "Traceback" not in err
+    assert err.strip()
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_check_missing_rule_file_is_a_one_line_error(capsys, tmp_path):
+    code, _, err = run_cli(capsys, "check", "--rules", str(tmp_path / "absent.txt"))
+    assert_one_line_error(code, err)
+
+
+def test_check_malformed_rules_are_a_one_line_error(capsys, tmp_path):
+    path = tmp_path / "rules.txt"
+    path.write_text("this is not a rule\n")
+    code, _, err = run_cli(capsys, "check", "--rules", str(path))
+    assert_one_line_error(code, err)
+
+
+def test_chase_malformed_facts_are_a_one_line_error(capsys, rules_file, tmp_path):
+    facts = tmp_path / "facts.txt"
+    facts.write_text('P("").\n')  # the empty constant from the fuzz corpus
+    code, _, err = run_cli(capsys, "chase", "--rules", str(rules_file), "--facts", str(facts))
+    assert_one_line_error(code, err)
+    assert "invalid term" in err

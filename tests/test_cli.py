@@ -343,6 +343,157 @@ class TestErrorPaths:
         assert "different sweep configuration" in capsys.readouterr().err
 
 
+class TestFuzzCommand:
+    @pytest.fixture
+    def corpus_dir(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        (corpus / "simple.case").write_text(
+            "# name: simple\n"
+            "--- rules ---\n"
+            "P(x) -> Q(x)\n"
+            "--- facts ---\n"
+            'P(a).\nP("100%").\n'
+        )
+        return corpus
+
+    def test_replay_corpus_clean_exits_zero(self, corpus_dir, capsys):
+        assert main(["fuzz", "--replay", str(corpus_dir), "--pools", "quick"]) == 0
+        output = capsys.readouterr().out
+        assert "ok       simple" in output
+        assert "CLEAN" in output
+
+    def test_replay_single_case_file(self, corpus_dir, capsys):
+        assert main(
+            ["fuzz", "--replay", str(corpus_dir / "simple.case"), "--pools", "quick"]
+        ) == 0
+        assert "replayed simple: ok" in capsys.readouterr().out
+
+    def test_replay_waived_case_is_skipped(self, tmp_path, capsys):
+        case = tmp_path / "deferred.case"
+        case.write_text(
+            "# name: deferred\n"
+            "# waived: documented deferral for the test\n"
+            "--- rules ---\n"
+            "P(x) -> Q(x)\n"
+            "--- facts ---\n"
+            "P(a).\n"
+        )
+        assert main(["fuzz", "--replay", str(case)]) == 0
+        assert "waived   deferred" in capsys.readouterr().out
+
+    def test_replay_divergent_case_exits_one(self, tmp_path, capsys):
+        # A conform-marked case whose body cannot parse is a divergence.
+        case = tmp_path / "broken.case"
+        case.write_text(
+            "# name: broken\n"
+            "--- rules ---\n"
+            "P(x) ->\n"
+            "--- facts ---\n"
+            "P(a).\n"
+        )
+        assert main(["fuzz", "--replay", str(case), "--pools", "quick"]) == 1
+        assert "DIVERGED broken" in capsys.readouterr().out
+
+    def test_seed_replay_plus_small_search_exits_zero(self, corpus_dir, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--max-cases", "2",
+                "--seed", "3",
+                "--families", "sticky",
+                "--corpus", str(corpus_dir),
+            ]
+        )
+        assert code == 0
+        assert "CLEAN" in capsys.readouterr().out
+
+    def test_unknown_corpus_path_exits_two(self, tmp_path, capsys):
+        code = main(["fuzz", "--max-cases", "0", "--corpus", str(tmp_path / "nope")])
+        assert code == 2
+        stderr = capsys.readouterr().err
+        assert "does not exist" in stderr
+        assert "Traceback" not in stderr
+
+    def test_unknown_replay_path_exits_two(self, tmp_path, capsys):
+        assert main(["fuzz", "--replay", str(tmp_path / "ghost.case")]) == 2
+        stderr = capsys.readouterr().err
+        assert "cannot read corpus case" in stderr
+        assert "Traceback" not in stderr
+
+    def test_malformed_replay_case_exits_two(self, tmp_path, capsys):
+        case = tmp_path / "malformed.case"
+        case.write_text("no sections at all\n")
+        assert main(["fuzz", "--replay", str(case)]) == 2
+        stderr = capsys.readouterr().err
+        assert "rules" in stderr
+        assert "Traceback" not in stderr
+
+    def test_unknown_family_exits_two(self, capsys):
+        assert main(["fuzz", "--max-cases", "1", "--families", "bogus"]) == 2
+        stderr = capsys.readouterr().err
+        assert "bogus" in stderr and "heavy_skew" in stderr
+
+    def test_negative_budgets_exit_two(self, capsys):
+        assert main(["fuzz", "--time-budget", "-1"]) == 2
+        assert "--time-budget" in capsys.readouterr().err
+        assert main(["fuzz", "--max-cases", "-1"]) == 2
+        assert "--max-cases" in capsys.readouterr().err
+
+    def test_interrupted_run_exits_three(self, capsys, monkeypatch):
+        # A KeyboardInterrupt mid-run must surface as the documented
+        # pending/interrupted exit code, not a traceback.
+        import repro.fuzz.harness as harness_mod
+
+        def raising_probe(database, tgds):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(harness_mod, "_probe_edges", raising_probe)
+        code = main(["fuzz", "--max-cases", "1", "--families", "sticky"])
+        assert code == 3
+        assert "INTERRUPTED" in capsys.readouterr().out
+
+    def test_divergence_beats_interrupt_in_exit_code(self, tmp_path, capsys, monkeypatch):
+        import repro.core.parser as parser_mod
+
+        def legacy_strip(line):
+            for prefix in ("%", "#", "//"):
+                at = line.find(prefix)
+                if at != -1:
+                    line = line[:at]
+            return line
+
+        monkeypatch.setattr(parser_mod, "_strip_comment", legacy_strip)
+        code = main(["fuzz", "--max-cases", "0", "--families", "heavy_skew"])
+        assert code == 1
+        assert "DIVERGED" in capsys.readouterr().out
+
+    def test_malformed_check_rules_exit_two_without_traceback(self, tmp_path, capsys):
+        bad = tmp_path / "bad.rules"
+        bad.write_text("P(x) ->\n")
+        assert main(["check", "--rules", str(bad)]) == 2
+        stderr = capsys.readouterr().err
+        assert "non-empty body and head" in stderr
+        assert "Traceback" not in stderr
+
+    def test_malformed_chase_facts_exit_two_without_traceback(self, tmp_path, capsys):
+        rules = tmp_path / "ok.rules"
+        rules.write_text("P(x) -> Q(x)\n")
+        facts = tmp_path / "bad.facts"
+        facts.write_text('P("").\n')  # empty constant name
+        assert main(["chase", "--rules", str(rules), "--facts", str(facts)]) == 2
+        stderr = capsys.readouterr().err
+        assert "invalid term" in stderr
+        assert "Traceback" not in stderr
+
+    def test_missing_rule_file_exits_two_without_traceback(self, tmp_path, capsys):
+        ghost = tmp_path / "ghost.rules"
+        assert main(["check", "--rules", str(ghost)]) == 2
+        stderr = capsys.readouterr().err
+        assert "cannot read" in stderr
+        assert "Traceback" not in stderr
+
+
 class TestSweepCommand:
     def test_sweep_smoke_runs_and_summarises(self, capsys, tmp_path):
         csv_path = tmp_path / "sweep.csv"

@@ -28,6 +28,7 @@ CHECKED_DOCUMENTS = (
     REPO / "ROADMAP.md",
     REPO / "docs" / "cli.md",
     REPO / "docs" / "invariants.md",
+    REPO / "docs" / "fuzzing.md",
 )
 
 HELP_BLOCK = re.compile(

@@ -318,7 +318,7 @@ class DeterminismChecker(Checker):
         "no unordered set iteration and no clock/randomness/address/"
         "environment dependence on chase result paths"
     )
-    include = ("core/", "chase/", "storage/")
+    include = ("core/", "chase/", "storage/", "fuzz/")
 
     def __init__(self) -> None:
         self.module_imports = _Imports(ast.parse(""))
