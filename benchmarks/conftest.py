@@ -24,7 +24,9 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import re
+import sys
 import time
 from pathlib import Path
 
@@ -32,6 +34,7 @@ import pytest
 
 from repro.experiments import PRESETS
 from repro.experiments.reporting import format_table, summarize_figure
+from repro.obs.clock import perf_counter_s
 
 
 def _selected_preset():
@@ -74,13 +77,27 @@ def _current_test_name() -> str:
     return re.sub(r"[^A-Za-z0-9_.\-\[\]]", "_", name)
 
 
+def host_metadata() -> dict:
+    """Host facts stamped into every artifact: the committed perf trajectory
+    spans machines, so each number must say where it was measured."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "executable": sys.executable,
+    }
+
+
 def record_bench_json(name: str, payload: dict) -> Path:
     """Write *payload* as ``BENCH_<name>.json`` and return the artifact path.
 
-    Adds the preset and a wall-clock timestamp so artifacts from different
-    runs are self-describing.  The artifact is written twice — once into the
-    artifacts directory, once into the repository root (the committed perf
-    trajectory) — unless ``REPRO_BENCH_NO_ROOT`` is set.
+    Adds the preset, a wall-clock timestamp, and the host metadata (python
+    version, platform, cpu count) so artifacts from different runs and
+    machines are self-describing.  The artifact is written twice — once into
+    the artifacts directory, once into the repository root (the committed
+    perf trajectory) — unless ``REPRO_BENCH_NO_ROOT`` is set.
     """
     safe = re.sub(r"[^A-Za-z0-9_.\-]", "_", name)
     filename = f"BENCH_{safe}.json"
@@ -88,6 +105,7 @@ def record_bench_json(name: str, payload: dict) -> Path:
         "name": name,
         "preset": os.environ.get("REPRO_BENCH_PRESET", "smoke"),
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "host": host_metadata(),
         **payload,
     }
     rendered = json.dumps(document, indent=2, sort_keys=True) + "\n"
@@ -106,9 +124,9 @@ def run_once(benchmark, runner, *args, **kwargs):
     runs per input).  The wall-clock time is recorded as a BENCH_*.json
     artifact named after the calling test.
     """
-    start = time.perf_counter()
+    start = perf_counter_s()
     rows = benchmark.pedantic(runner, args=args, kwargs=kwargs, rounds=1, iterations=1)
-    elapsed = time.perf_counter() - start
+    elapsed = perf_counter_s() - start
     record_bench_json(
         _current_test_name(),
         {

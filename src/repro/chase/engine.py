@@ -39,9 +39,10 @@ from typing import Iterable, Optional, Set
 from ..core.atoms import Atom
 from ..core.instances import Database, Instance
 from ..core.substitutions import has_homomorphism
-from ..core.terms import NullFactory
+from ..core.terms import Null, NullFactory
 from ..core.tgds import TGD, TGDSet
 from ..exceptions import ChaseLimitExceeded
+from ..obs.tracer import as_tracer
 from .matching import STRATEGIES, has_homomorphism_indexed, make_trigger_source
 from .result import ChaseLimits, ChaseResult
 from .triggers import Trigger
@@ -118,7 +119,7 @@ class ChaseEngine:
     # ------------------------------------------------------------------ #
     # Driver
 
-    def run(self, database: Database, tgds: TGDSet, store=None) -> ChaseResult:
+    def run(self, database: Database, tgds: TGDSet, store=None, tracer=None) -> ChaseResult:
         """Run the chase of *database* with *tgds* under the configured budget.
 
         *store* is the :class:`~repro.storage.atom_store.AtomStore` the
@@ -128,7 +129,17 @@ class ChaseEngine:
         *not* decode it into an in-memory instance — that happens lazily on
         the first ``result.instance`` read (``chase()`` does it eagerly
         unless called with ``materialize=False``).
+
+        *tracer* (a :class:`repro.obs.Tracer`) receives one ``round`` event
+        per delta round — including the final fixpoint-confirming
+        enumeration, so summing ``fired``/``atoms_created`` over ``round``
+        events reproduces the result totals exactly — and one
+        ``rule_round`` event per (rule, round) that enumerated anything.
+        Tracing never changes the result; with it off (the default) the
+        loop below is byte-for-byte the untraced code path.
         """
+        tracer = as_tracer(tracer)
+        traced = tracer.enabled
         tgd_list = tuple(tgds)
         if store is None:
             store = Instance()
@@ -158,17 +169,72 @@ class ChaseEngine:
                 trigger_iter = source.initial(store)
             else:
                 trigger_iter = source.delta(store, frontier_atoms)
-            for trigger in trigger_iter:
-                key = self._firing_key(trigger)
-                if key in fired_keys:
-                    continue
-                fired_keys.add(key)
-                if not self._should_fire(trigger, store, fired_keys):
-                    continue
-                triggers_fired += 1
-                for atom in trigger.result(null_factory, null_scope=self.null_scope):
-                    if atom not in new_atoms and not store.has_atom(atom):
-                        new_atoms.add(atom)
+            if traced:
+                round_started = tracer.now()
+                delta_size = (
+                    store.atom_count() if frontier_atoms is None else len(frontier_atoms)
+                )
+                considered = 0
+                fired_before = triggers_fired
+                # rule index -> [enumerated, fired, atoms, nulls-set, seconds]
+                rule_stats: dict = {}
+                # The traced twin of the loop in the else-branch below (keep
+                # the two in lockstep!): same firing decisions, plus per-rule
+                # attribution of enumeration+processing time, null invention,
+                # and atom creation.  The clock reads bracket each trigger;
+                # nothing read here flows into any chase decision.
+                iterator = iter(trigger_iter)
+                last = tracer.now()
+                while True:
+                    try:
+                        trigger = next(iterator)
+                    except StopIteration:
+                        break
+                    considered += 1
+                    stats = rule_stats.get(trigger.tgd_index)
+                    if stats is None:
+                        stats = rule_stats[trigger.tgd_index] = [0, 0, 0, set(), 0.0]
+                    stats[0] += 1
+                    key = self._firing_key(trigger)
+                    if key not in fired_keys:
+                        fired_keys.add(key)
+                        if self._should_fire(trigger, store, fired_keys):
+                            triggers_fired += 1
+                            stats[1] += 1
+                            for atom in trigger.result(
+                                null_factory, null_scope=self.null_scope
+                            ):
+                                if atom not in new_atoms and not store.has_atom(atom):
+                                    new_atoms.add(atom)
+                                    stats[2] += 1
+                                    for term in atom.terms:
+                                        if isinstance(term, Null):
+                                            stats[3].add(term)
+                    now = tracer.now()
+                    stats[4] += now - last
+                    last = now
+                self._emit_round(
+                    tracer,
+                    rounds + 1,
+                    delta_size,
+                    considered,
+                    triggers_fired - fired_before,
+                    len(new_atoms),
+                    rule_stats,
+                    round_started,
+                )
+            else:
+                for trigger in trigger_iter:
+                    key = self._firing_key(trigger)
+                    if key in fired_keys:
+                        continue
+                    fired_keys.add(key)
+                    if not self._should_fire(trigger, store, fired_keys):
+                        continue
+                    triggers_fired += 1
+                    for atom in trigger.result(null_factory, null_scope=self.null_scope):
+                        if atom not in new_atoms and not store.has_atom(atom):
+                            new_atoms.add(atom)
             if not new_atoms:
                 return ChaseResult(
                     terminated=True,
@@ -197,6 +263,35 @@ class ChaseEngine:
                 return self._stopped(
                     store, rounds, atoms_created, triggers_fired, "max_atoms"
                 )
+
+    @staticmethod
+    def _emit_round(
+        tracer, round_index, delta_size, considered, fired, atoms_created,
+        rule_stats, round_started,
+    ) -> None:
+        """Emit the ``rule_round`` events (sorted by rule) then the ``round``."""
+        ended = tracer.now()
+        for rule_index in sorted(rule_stats):
+            enumerated, rule_fired, rule_atoms, nulls, seconds = rule_stats[rule_index]
+            tracer.emit(
+                "rule_round",
+                round=round_index,
+                rule=rule_index,
+                enumerated=enumerated,
+                fired=rule_fired,
+                atoms_created=rule_atoms,
+                nulls_invented=len(nulls),
+                dur=round(seconds, 9),
+            )
+        tracer.emit(
+            "round",
+            round=round_index,
+            delta_size=delta_size,
+            considered=considered,
+            fired=fired,
+            atoms_created=atoms_created,
+            dur=round(ended - round_started, 9),
+        )
 
     def _stopped(self, store, rounds, atoms_created, triggers_fired, reason) -> ChaseResult:
         if self.on_limit == "raise":
@@ -310,6 +405,7 @@ def chase(
     workers: int = 1,
     executor: str = "auto",
     materialize: bool = True,
+    tracer=None,
 ) -> ChaseResult:
     """Run the chase of *database* with *tgds*.
 
@@ -356,12 +452,32 @@ def chase(
         and ``result.instance`` only decodes the fixpoint into RAM if and
         when it is actually touched.  For store-backed runs this is what
         keeps larger-than-memory fixpoints out of the process.
+    tracer:
+        A :class:`repro.obs.Tracer` (or ``None``, the default).  When given,
+        the run narrates itself — ``chase_start``, per-round and per-(rule,
+        round) events, per-SQL-statement-family timings on the sqlite
+        backend, and a ``chase_end`` with the result totals.  Tracing is
+        observation only: the result is byte-identical with or without it.
     """
     engine_class = resolve_engine_class(variant)
+    tracer = as_tracer(tracer)
+    traced = tracer.enabled
+    if traced:
+        chase_started = tracer.now()
+        tracer.emit(
+            "chase_start",
+            variant=variant,
+            strategy=strategy,
+            backend=backend if store is None else type(store).__name__,
+            workers=workers,
+            n_rules=len(tgds),
+            n_database_atoms=len(database),
+            rules=[repr(tgd) for tgd in tgds],
+        )
     if workers != 1:
         from .parallel import parallel_chase
 
-        return parallel_chase(
+        result = parallel_chase(
             database,
             tgds,
             variant=variant,
@@ -373,7 +489,11 @@ def chase(
             store=store,
             executor=executor,
             materialize=materialize,
+            tracer=tracer,
         )
+        if traced:
+            _emit_chase_end(tracer, result, chase_started)
+        return result
     if store is None:
         store = make_backend_store(backend)
     if strategy == "sql":
@@ -385,6 +505,14 @@ def chase(
                 "the sqlite backend (backend='sqlite[:path]' or an explicit "
                 "SqliteAtomStore store)"
             )
+    statement_metrics = None
+    if traced:
+        from ..obs.metrics import StatementMetrics
+        from ..storage.sqlbackend import SqliteAtomStore
+
+        if isinstance(store, SqliteAtomStore):
+            statement_metrics = StatementMetrics()
+            store.set_statement_metrics(statement_metrics)
     if strategy == "sql-pushdown":
         from ..storage.sqlbackend import SqliteAtomStore
         from ..storage.sqlbackend.pushdown import PushdownExecutor
@@ -398,15 +526,20 @@ def chase(
             )
         pushdown = PushdownExecutor(variant=variant, limits=limits, on_limit=on_limit)
         try:
-            result = pushdown.run(database, tgds, store=store)
+            result = pushdown.run(database, tgds, store=store, tracer=tracer)
         finally:
             store.flush()
+            if statement_metrics is not None:
+                store.set_statement_metrics(None)
         if materialize:
             result.materialize()
+        if traced:
+            _emit_sql_families(tracer, statement_metrics)
+            _emit_chase_end(tracer, result, chase_started)
         return result
     engine = engine_class(limits=limits, on_limit=on_limit, strategy=strategy)
     try:
-        result = engine.run(database, tgds, store=store)
+        result = engine.run(database, tgds, store=store, tracer=tracer)
     finally:
         # Persistent stores (sqlite) batch writes in one transaction; commit
         # even when the run raises (on_limit='raise'), or the interrupted
@@ -414,9 +547,37 @@ def chase(
         flush = getattr(store, "flush", None)
         if flush is not None:
             flush()
+        if statement_metrics is not None:
+            store.set_statement_metrics(None)
     if materialize:
         result.materialize()
+    if traced:
+        _emit_sql_families(tracer, statement_metrics)
+        _emit_chase_end(tracer, result, chase_started)
     return result
+
+
+def _emit_sql_families(tracer, statement_metrics) -> None:
+    """Emit one ``sql_family`` event per statement family that ran."""
+    if statement_metrics is None:
+        return
+    from ..obs.metrics import sql_family_stats
+
+    for stats in sql_family_stats(statement_metrics.registry.snapshot()):
+        tracer.emit("sql_family", **stats)
+
+
+def _emit_chase_end(tracer, result: ChaseResult, started: float) -> None:
+    tracer.emit(
+        "chase_end",
+        terminated=result.terminated,
+        stop_reason=result.stop_reason,
+        rounds=result.rounds,
+        triggers_fired=result.triggers_fired,
+        atoms_created=result.atoms_created,
+        instance_size=result.size(),
+        dur=round(tracer.now() - started, 9),
+    )
 
 
 def satisfies(instance: Instance, tgds: Iterable[TGD]) -> bool:

@@ -51,7 +51,7 @@ import multiprocessing
 import traceback
 from concurrent import futures
 from multiprocessing.connection import Connection
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union, cast
 
 from ..core.atoms import Atom
 from ..core.indexing import atom_partition_of
@@ -61,6 +61,9 @@ from ..core.substitutions import Substitution
 from ..core.terms import Null, NullFactory, Term
 from ..core.tgds import TGD, TGDSet
 from ..exceptions import ChaseLimitExceeded
+from ..obs.clock import MonotonicClock
+from ..obs.metrics import MetricsRegistry, StatementMetrics, sql_family_stats
+from ..obs.tracer import AnyTracer, as_tracer
 from ..storage.atom_store import AtomStore
 from .engine import ChaseEngine, make_backend_store, resolve_engine_class
 from .matching import JoinPlan
@@ -70,10 +73,31 @@ from .triggers import Trigger
 #: Worker backends accepted by :func:`parallel_chase`.
 EXECUTORS = ("auto", "serial", "thread", "process")
 
-#: A worker's report for one round: the firing keys it considered (new to
-#: it) and, for the keys that passed the variant's firing policy, the
+#: The match half of a worker's report: the firing keys it considered (new
+#: to it) and, for the keys that passed the variant's firing policy, the
 #: trigger's result atoms.
-RoundReport = Tuple[List[object], List[Tuple[object, Tuple[Atom, ...]]]]
+MatchBatch = Tuple[List[object], List[Tuple[object, Tuple[Atom, ...]]]]
+
+#: Per-round observability payload attached when the coordinator runs
+#: traced: ``(worker_id, seconds, considered, fired, sql_snapshot)``.  The
+#: snapshot is the worker-local :class:`~repro.obs.metrics.MetricsRegistry`
+#: dump — cumulative, so the coordinator keeps only the latest one per
+#: worker (process replicas only: shared-store pools time SQL on the
+#: coordinator's own registry instead).
+WorkerMetrics = Tuple[int, float, int, int, Optional[Dict[str, List[Dict[str, object]]]]]
+
+#: A worker's report for one round: the match batch plus, on traced runs,
+#: the worker's metrics payload (``None`` otherwise).  Metrics ride the
+#: same pipe message as the match results, so tracing adds no protocol
+#: round-trips.
+RoundReport = Tuple[
+    List[object], List[Tuple[object, Tuple[Atom, ...]]], Optional[WorkerMetrics]
+]
+
+
+def _key_rule(key: object) -> int:
+    """The TGD index a firing key attributes to (every key kind leads with it)."""
+    return cast(Tuple[int, object], key)[0]
 
 
 class _PlanEntry:
@@ -129,6 +153,7 @@ class _MatchWorker:
         tgds: Sequence[TGD],
         variant: str,
         store: AtomStore,
+        collect_metrics: bool = False,
     ) -> None:
         self.worker_id = worker_id
         self.n_workers = n_workers
@@ -137,8 +162,56 @@ class _MatchWorker:
         self.policy: ChaseEngine = resolve_engine_class(variant)()
         self.null_factory = NullFactory()
         self.reported_keys: Set[object] = set()
+        self.collect_metrics = collect_metrics
+        self._clock = MonotonicClock()
+        #: Worker-local SQL timings; attached by ``_worker_main`` when the
+        #: worker owns a private sqlite replica.  Shared-store pools leave
+        #: this ``None`` — the coordinator times those statements itself.
+        self.statement_metrics: Optional[StatementMetrics] = None
 
     def initial_round(self) -> RoundReport:
+        """Run :meth:`_initial_round`, attaching metrics on traced runs."""
+        if not self.collect_metrics:
+            considered, fired = self._initial_round()
+            return considered, fired, None
+        started = self._clock.now()
+        considered, fired = self._initial_round()
+        return considered, fired, self._metrics(started, considered, fired)
+
+    def delta_round(
+        self,
+        delta_atoms: Sequence[Atom],
+        work_items: Sequence[Tuple[int, int]],
+        apply_delta: bool,
+    ) -> RoundReport:
+        """Run :meth:`_delta_round`, attaching metrics on traced runs."""
+        if not self.collect_metrics:
+            considered, fired = self._delta_round(delta_atoms, work_items, apply_delta)
+            return considered, fired, None
+        started = self._clock.now()
+        considered, fired = self._delta_round(delta_atoms, work_items, apply_delta)
+        return considered, fired, self._metrics(started, considered, fired)
+
+    def _metrics(
+        self,
+        started: float,
+        considered: List[object],
+        fired: List[Tuple[object, Tuple[Atom, ...]]],
+    ) -> WorkerMetrics:
+        snapshot = (
+            self.statement_metrics.registry.snapshot()
+            if self.statement_metrics is not None
+            else None
+        )
+        return (
+            self.worker_id,
+            self._clock.now() - started,
+            len(considered),
+            len(fired),
+            snapshot,
+        )
+
+    def _initial_round(self) -> MatchBatch:
         """Match every body homomorphism whose slot-0 atom this worker owns.
 
         Seeding only slot-0 plans (with no delta constraint) enumerates each
@@ -160,12 +233,12 @@ class _MatchWorker:
                     self._consider(entry, mapping, considered, fired)
         return considered, fired
 
-    def delta_round(
+    def _delta_round(
         self,
         delta_atoms: Sequence[Atom],
         work_items: Sequence[Tuple[int, int]],
         apply_delta: bool,
-    ) -> RoundReport:
+    ) -> MatchBatch:
         """Execute this worker's share of one delta round.
 
         *work_items* are ``(plan_id, delta_index)`` pairs; *apply_delta*
@@ -228,8 +301,9 @@ class PushdownMatchWorker(_MatchWorker):
         tgds: Sequence[TGD],
         variant: str,
         store: AtomStore,
+        collect_metrics: bool = False,
     ) -> None:
-        super().__init__(worker_id, n_workers, tgds, variant, store)
+        super().__init__(worker_id, n_workers, tgds, variant, store, collect_metrics)
         from ..storage.sqlbackend import SqliteAtomStore
         from ..storage.sqlbackend.pushdown import CompiledPlanQuery
 
@@ -250,7 +324,7 @@ class PushdownMatchWorker(_MatchWorker):
         ]
         self._last_seq = 0
 
-    def initial_round(self) -> RoundReport:
+    def _initial_round(self) -> MatchBatch:
         considered: List[object] = []
         fired: List[Tuple[object, Tuple[Atom, ...]]] = []
         for entry in self.table.initial_entries:
@@ -260,12 +334,12 @@ class PushdownMatchWorker(_MatchWorker):
         self._last_seq = self.store.current_seq()
         return considered, fired
 
-    def delta_round(
+    def _delta_round(
         self,
         delta_atoms: Sequence[Atom],
         work_items: Sequence[Tuple[int, int]],
         apply_delta: bool,
-    ) -> RoundReport:
+    ) -> MatchBatch:
         # The watermark is the snapshot taken at the end of the previous
         # round — before this round's delta reached the store, whether the
         # coordinator applied it (shared store) or we do below (replica).
@@ -295,11 +369,14 @@ def _make_match_worker(
     tgds: Sequence[TGD],
     variant: str,
     store: AtomStore,
+    collect_metrics: bool = False,
 ) -> _MatchWorker:
     """Build the per-partition worker for *strategy* (indexed or pushdown)."""
     if strategy == "sql-pushdown":
-        return PushdownMatchWorker(worker_id, n_workers, tgds, variant, store)
-    return _MatchWorker(worker_id, n_workers, tgds, variant, store)
+        return PushdownMatchWorker(
+            worker_id, n_workers, tgds, variant, store, collect_metrics
+        )
+    return _MatchWorker(worker_id, n_workers, tgds, variant, store, collect_metrics)
 
 
 # --------------------------------------------------------------------------- #
@@ -322,10 +399,13 @@ class _SerialPool:
         variant: str,
         store: AtomStore,
         strategy: str = "indexed",
+        collect_metrics: bool = False,
     ) -> None:
         self.workers = workers
         self._match_workers = [
-            _make_match_worker(strategy, worker_id, workers, tgds, variant, store)
+            _make_match_worker(
+                strategy, worker_id, workers, tgds, variant, store, collect_metrics
+            )
             for worker_id in range(workers)
         ]
 
@@ -364,11 +444,14 @@ class _ThreadPool:
         variant: str,
         store: AtomStore,
         strategy: str = "indexed",
+        collect_metrics: bool = False,
     ) -> None:
         self.workers = workers
         self._pool = futures.ThreadPoolExecutor(max_workers=workers)
         self._match_workers = [
-            _make_match_worker(strategy, worker_id, workers, tgds, variant, store)
+            _make_match_worker(
+                strategy, worker_id, workers, tgds, variant, store, collect_metrics
+            )
             for worker_id in range(workers)
         ]
         _warm_position_indexes(store, tgds)
@@ -551,6 +634,7 @@ def _worker_main(
     variant: str,
     store_spec: Tuple[str, ...],
     strategy: str = "indexed",
+    collect_metrics: bool = False,
 ) -> None:
     """Entry point of a process worker: build the replica, serve rounds.
 
@@ -561,7 +645,17 @@ def _worker_main(
     try:
         try:
             store = _open_replica_store(store_spec, worker_id)
-            worker = _make_match_worker(strategy, worker_id, n_workers, tgds, variant, store)
+            worker = _make_match_worker(
+                strategy, worker_id, n_workers, tgds, variant, store, collect_metrics
+            )
+            if collect_metrics:
+                from ..storage.sqlbackend import SqliteAtomStore
+
+                # The replica is private to this process, so its SQL
+                # timings ride home inside the round reports.
+                if isinstance(store, SqliteAtomStore):
+                    worker.statement_metrics = StatementMetrics()
+                    store.set_statement_metrics(worker.statement_metrics)
         except Exception:
             conn.send(("error", traceback.format_exc()))
             return
@@ -609,6 +703,7 @@ class _ProcessPool:
         store_spec: Tuple[str, ...],
         worker_seeds: Optional[Callable[[int], List[Atom]]] = None,
         strategy: str = "indexed",
+        collect_metrics: bool = False,
     ) -> None:
         self.workers = workers
         context = multiprocessing.get_context()
@@ -627,6 +722,7 @@ class _ProcessPool:
                         variant,
                         store_spec,
                         strategy,
+                        collect_metrics,
                     ),
                     daemon=True,
                 )
@@ -724,7 +820,7 @@ class ParallelChaseExecutor:
     # ------------------------------------------------------------------ #
 
     def _make_pool(
-        self, tgds: Sequence[TGD], store: AtomStore
+        self, tgds: Sequence[TGD], store: AtomStore, collect_metrics: bool = False
     ) -> Union["_SerialPool", "_ThreadPool", "_ProcessPool"]:
         from ..storage.database import RelationalDatabase
         from ..storage.sqlbackend import SqliteAtomStore
@@ -744,9 +840,13 @@ class ParallelChaseExecutor:
                     else "thread"
                 )
         if executor == "serial" or self.workers == 1:
-            return _SerialPool(self.workers, tgds, self.variant, store, self.strategy)
+            return _SerialPool(
+                self.workers, tgds, self.variant, store, self.strategy, collect_metrics
+            )
         if executor == "thread":
-            return _ThreadPool(self.workers, tgds, self.variant, store, self.strategy)
+            return _ThreadPool(
+                self.workers, tgds, self.variant, store, self.strategy, collect_metrics
+            )
         if isinstance(store, SqliteAtomStore) and store.is_persistent:
             # Out-of-core seeding: commit the seed so workers attaching the
             # file read-only see it, and ship no atoms at all — each replica
@@ -754,7 +854,7 @@ class ParallelChaseExecutor:
             store.flush()
             return _ProcessPool(
                 self.workers, tgds, self.variant, ("sqlite-file", store.path),
-                strategy=self.strategy,
+                strategy=self.strategy, collect_metrics=collect_metrics,
             )
         if isinstance(store, RelationalDatabase):
             store_spec = ("relational",)
@@ -781,7 +881,8 @@ class ParallelChaseExecutor:
             )
 
         return _ProcessPool(
-            self.workers, tgds, self.variant, store_spec, worker_seeds, self.strategy
+            self.workers, tgds, self.variant, store_spec, worker_seeds, self.strategy,
+            collect_metrics,
         )
 
     def _partition_work(
@@ -798,9 +899,26 @@ class ParallelChaseExecutor:
         return work
 
     def run(
-        self, database: Database, tgds: TGDSet, store: Optional[AtomStore] = None
+        self,
+        database: Database,
+        tgds: TGDSet,
+        store: Optional[AtomStore] = None,
+        tracer: Optional[AnyTracer] = None,
     ) -> ChaseResult:
-        """Run the parallel chase; same contract as :meth:`ChaseEngine.run`."""
+        """Run the parallel chase; same contract as :meth:`ChaseEngine.run`.
+
+        *tracer* makes the coordinator emit the same ``round``/``rule_round``
+        stream as the serial engines (sums reproduce the result totals
+        exactly; per-rule ``dur`` is 0.0 — matching time lives in the
+        workers) plus one ``worker_round`` event per (worker, round) and,
+        on sqlite stores, merged ``sql_family`` timings — worker replicas
+        ship their cumulative registry snapshots home inside the round
+        reports.  ``chase_start``/``chase_end`` are the caller's job
+        (:func:`repro.chase.engine.chase` emits them).  Tracing never
+        changes the result.
+        """
+        active_tracer = as_tracer(tracer)
+        traced = active_tracer.enabled
         tgd_list = tuple(tgds)
         if store is None:
             store = Instance()
@@ -818,13 +936,46 @@ class ParallelChaseExecutor:
         triggers_fired = 0
         delta: Optional[List[Atom]] = None  # None = first round
 
-        pool = self._make_pool(tgd_list, store)
+        statement_metrics: Optional[StatementMetrics] = None
+        if traced:
+            from ..storage.sqlbackend import SqliteAtomStore
+
+            if isinstance(store, SqliteAtomStore):
+                # Times the coordinator's own statements — and, under the
+                # shared-store pools, the thread workers' queries too.
+                statement_metrics = StatementMetrics()
+                store.set_statement_metrics(statement_metrics)
+        # Latest cumulative registry snapshot per process worker.
+        worker_sql: Dict[int, Dict[str, List[Dict[str, object]]]] = {}
+
+        def finish_trace() -> None:
+            """Emit the merged coordinator+worker ``sql_family`` events."""
+            if not traced:
+                return
+            registry = (
+                statement_metrics.registry
+                if statement_metrics is not None
+                else MetricsRegistry()
+            )
+            for snapshot in worker_sql.values():
+                registry.merge_snapshot(snapshot)
+            for stats in sql_family_stats(registry.snapshot()):
+                active_tracer.emit("sql_family", **stats)
+
+        pool = self._make_pool(tgd_list, store, traced)
         try:
             while True:
                 if self.limits.round_budget_exceeded(rounds + 1):
+                    finish_trace()
                     return self._stopped(
                         store, rounds, atoms_created, triggers_fired, "max_rounds"
                     )
+                round_started = active_tracer.now() if traced else 0.0
+                delta_size = (
+                    (store.atom_count() if delta is None else len(delta))
+                    if traced
+                    else 0
+                )
                 if delta is None:
                     reports = pool.initial()
                 else:
@@ -835,22 +986,89 @@ class ParallelChaseExecutor:
                 # wins" and "union of everything" coincide.
                 round_keys: List[object] = []
                 fired_by_key: Dict[object, Tuple[Atom, ...]] = {}
-                for considered, fired in reports:
+                for considered, fired, metrics in reports:
                     round_keys.extend(considered)
                     for key, atoms in fired:
                         fired_by_key.setdefault(key, atoms)
+                    if metrics is not None:
+                        worker_id, seconds, n_considered, n_fired, snapshot = metrics
+                        active_tracer.emit(
+                            "worker_round",
+                            round=rounds + 1,
+                            worker=worker_id,
+                            considered=n_considered,
+                            fired=n_fired,
+                            dur=round(seconds, 9),
+                        )
+                        if snapshot is not None:
+                            worker_sql[worker_id] = snapshot
 
                 new_atoms: Set[Atom] = set()
-                for key, atoms in fired_by_key.items():
-                    if key in fired_keys:
-                        continue
-                    triggers_fired += 1
-                    for atom in atoms:
-                        if atom not in new_atoms and not store.has_atom(atom):
-                            new_atoms.add(atom)
+                fired_before = triggers_fired
+                fired_by_rule: Dict[int, int] = {}
+                atoms_by_rule: Dict[int, int] = {}
+                nulls_by_rule: Dict[int, Set[Null]] = {}
+                if traced:
+                    # Traced twin of the merge loop below (keep the two in
+                    # lockstep!): same decisions, plus per-rule attribution
+                    # through the leading tgd_index of every firing key.
+                    for key, atoms in fired_by_key.items():
+                        if key in fired_keys:
+                            continue
+                        triggers_fired += 1
+                        rule_index = _key_rule(key)
+                        fired_by_rule[rule_index] = fired_by_rule.get(rule_index, 0) + 1
+                        for atom in atoms:
+                            if atom not in new_atoms and not store.has_atom(atom):
+                                new_atoms.add(atom)
+                                atoms_by_rule[rule_index] = (
+                                    atoms_by_rule.get(rule_index, 0) + 1
+                                )
+                                for term in atom.terms:
+                                    if isinstance(term, Null):
+                                        nulls_by_rule.setdefault(
+                                            rule_index, set()
+                                        ).add(term)
+                else:
+                    for key, atoms in fired_by_key.items():
+                        if key in fired_keys:
+                            continue
+                        triggers_fired += 1
+                        for atom in atoms:
+                            if atom not in new_atoms and not store.has_atom(atom):
+                                new_atoms.add(atom)
                 fired_keys.update(round_keys)
 
+                if traced:
+                    enumerated_by_rule: Dict[int, int] = {}
+                    for key in round_keys:
+                        rule_index = _key_rule(key)
+                        enumerated_by_rule[rule_index] = (
+                            enumerated_by_rule.get(rule_index, 0) + 1
+                        )
+                    for rule_index in sorted(enumerated_by_rule):
+                        active_tracer.emit(
+                            "rule_round",
+                            round=rounds + 1,
+                            rule=rule_index,
+                            enumerated=enumerated_by_rule[rule_index],
+                            fired=fired_by_rule.get(rule_index, 0),
+                            atoms_created=atoms_by_rule.get(rule_index, 0),
+                            nulls_invented=len(nulls_by_rule.get(rule_index, ())),
+                            dur=0.0,
+                        )
+                    active_tracer.emit(
+                        "round",
+                        round=rounds + 1,
+                        delta_size=delta_size,
+                        considered=len(round_keys),
+                        fired=triggers_fired - fired_before,
+                        atoms_created=len(new_atoms),
+                        dur=round(active_tracer.now() - round_started, 9),
+                    )
+
                 if not new_atoms:
+                    finish_trace()
                     return ChaseResult(
                         terminated=True,
                         rounds=rounds,
@@ -871,11 +1089,14 @@ class ParallelChaseExecutor:
                 atoms_created += len(new_atoms)
                 rounds += 1
                 if self.limits.atom_budget_exceeded(store.atom_count()):
+                    finish_trace()
                     return self._stopped(
                         store, rounds, atoms_created, triggers_fired, "max_atoms"
                     )
         finally:
             pool.close()
+            if statement_metrics is not None:
+                store.set_statement_metrics(None)  # type: ignore[attr-defined]
 
     def _stopped(
         self,
@@ -913,6 +1134,7 @@ def parallel_chase(
     store: Optional[AtomStore] = None,
     executor: str = "auto",
     materialize: bool = True,
+    tracer: Optional[AnyTracer] = None,
 ) -> ChaseResult:
     """Run the hash-partitioned parallel chase of *database* with *tgds*.
 
@@ -958,7 +1180,7 @@ def parallel_chase(
         strategy=strategy,
     )
     try:
-        result = coordinator.run(database, tgds, store=store)
+        result = coordinator.run(database, tgds, store=store, tracer=tracer)
     finally:
         # Commit even when the run raises, so an interrupted persistent
         # store keeps its prefix and stays resumable.

@@ -20,6 +20,10 @@ Subcommands
     Run the differential fuzzing harness: replay a committed corpus and/or
     mutate adversarial seed programs, checking every engine combination
     against the byte-identity, budget, round-trip, and termination oracles.
+``trace-report``
+    Render the profile of a JSONL trace (written by ``--trace`` on
+    ``chase``/``sweep``/``fuzz``): hot rules, hot SQL statement families,
+    and the per-round table.
 ``list``
     List the available experiments and presets.
 
@@ -43,13 +47,14 @@ Examples
     repro-experiments fuzz --time-budget 30 --corpus tests/regressions/corpus
     repro-experiments fuzz --replay tests/regressions/corpus
     repro-experiments fuzz --max-cases 20 --families heavy_skew,null_churn --seed 7
+    repro-experiments chase --rules rules.txt --trace chase-trace.jsonl
+    repro-experiments trace-report chase-trace.jsonl --top 5
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List, Optional
 
 from .chase.engine import BACKENDS, chase, make_backend_store
@@ -67,6 +72,7 @@ from .experiments import (
 )
 from .experiments.reporting import format_table, summarize_figure, write_csv
 from .experiments.runner import SWEEP_KINDS, run_sweep, sweep_summary
+from .obs.clock import perf_counter_s
 from .termination import is_chase_finite_l, is_chase_finite_sl
 
 
@@ -128,6 +134,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker pool kind for --parallel > 1: threads for the instance "
         "backend, processes with store replicas for the relational and "
         "sqlite ones (default: auto)",
+    )
+    chase_cmd.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a JSONL event trace of the run (chase_start, per-round "
+        "and per-rule events, SQL statement-family timings, chase_end); "
+        "render it with 'repro-experiments trace-report PATH'",
     )
     chase_cmd.add_argument(
         "--no-materialize",
@@ -192,6 +205,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="stop after this many tasks (the checkpoint stays resumable; "
         "exit code 3 signals that tasks remain pending)",
     )
+    sweep.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a JSONL event trace of the sweep (sweep_start, one "
+        "sweep_task per task, sweep_end)",
+    )
     sweep.add_argument("--csv", help="write the raw rows (timings included) to this CSV file")
     sweep.add_argument("--raw", action="store_true", help="print raw rows instead of the aggregate tables")
 
@@ -245,14 +264,45 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write minimized divergent cases into this directory",
     )
     fuzz_cmd.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a JSONL event trace of the run (fuzz_start, one "
+        "fuzz_case per case, periodic fuzz_progress, fuzz_end)",
+    )
+    fuzz_cmd.add_argument(
         "--max-atoms", type=int, default=300, help="per-run atom budget (default: 300)"
     )
     fuzz_cmd.add_argument(
         "--max-rounds", type=int, default=10, help="per-run round budget (default: 10)"
     )
 
+    trace_report = subparsers.add_parser(
+        "trace-report", help="render the profile tables of a JSONL trace"
+    )
+    trace_report.add_argument("trace", help="trace file written by --trace")
+    trace_report.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="rows per hot-rule/hot-statement table (default: 10)",
+    )
+
     subparsers.add_parser("list", help="list available experiments and presets")
     return parser
+
+
+def _open_tracer(path: Optional[str], tool: str):
+    """Open a ``--trace`` JSONL tracer, or ``None`` when the flag is absent.
+
+    Raises :class:`OSError` for unwritable paths; callers translate it into
+    the one-line, exit-code-2 contract shared by every input error.
+    """
+    if path is None:
+        return None
+    from .obs import JsonlTraceSink, Tracer
+
+    return Tracer(JsonlTraceSink(path), tool=tool)
 
 
 def _load_program(rules_path, facts_path):
@@ -333,7 +383,15 @@ def _command_chase(args) -> int:
         )
         return 2
     limits = ChaseLimits(max_atoms=args.max_atoms, max_rounds=args.max_rounds)
-    start = time.perf_counter()
+    try:
+        tracer = _open_tracer(args.trace, "chase")
+    except OSError as error:
+        print(
+            f"cannot write trace {args.trace}: {error.strerror or error}",
+            file=sys.stderr,
+        )
+        return 2
+    start = perf_counter_s()
     try:
         result = chase(
             database,
@@ -345,6 +403,7 @@ def _command_chase(args) -> int:
             workers=args.parallel,
             executor=args.executor,
             materialize=not args.no_materialize,
+            tracer=tracer,
         )
     except StorageError as error:
         # E.g. reopening a persisted file with rules that recreate one of
@@ -352,7 +411,10 @@ def _command_chase(args) -> int:
         # the backend-spec errors above.
         print(str(error), file=sys.stderr)
         return 2
-    elapsed = time.perf_counter() - start
+    finally:
+        if tracer is not None:
+            tracer.close()
+    elapsed = perf_counter_s() - start
 
     pool = f"/{args.parallel}w" if args.parallel != 1 else ""
     status = "reached a fixpoint" if result.terminated else f"stopped ({result.stop_reason})"
@@ -368,6 +430,8 @@ def _command_chase(args) -> int:
         print(f"  store_atoms: {store.atom_count()}")
         print(f"  store_file: {store.path} ({store.file_size()} bytes)")
     print(f"  elapsed: {elapsed * 1000:.2f} ms")
+    if args.trace:
+        print(f"  trace: {args.trace}")
     return 0
 
 
@@ -416,6 +480,14 @@ def _command_sweep(args) -> int:
         print("--limit must be >= 1", file=sys.stderr)
         return 2
     try:
+        tracer = _open_tracer(args.trace, "sweep")
+    except OSError as error:
+        print(
+            f"cannot write trace {args.trace}: {error.strerror or error}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
         result = run_sweep(
             preset(args.preset),
             kinds=kinds,
@@ -426,10 +498,14 @@ def _command_sweep(args) -> int:
             progress=print,
             chase_workers=args.chase_workers,
             chase_backend=args.chase_backend,
+            tracer=tracer,
         )
     except ExperimentConfigError as error:
         print(f"sweep failed: {error}", file=sys.stderr)
         return 2
+    finally:
+        if tracer is not None:
+            tracer.close()
     if args.csv:
         write_csv(result.rows, args.csv)
         print(f"wrote {len(result.rows)} rows to {args.csv}")
@@ -471,14 +547,41 @@ def _command_fuzz(args) -> int:
             )
             return 2
     limits = ChaseLimits(max_atoms=args.max_atoms, max_rounds=args.max_rounds)
+    try:
+        tracer = _open_tracer(args.trace, "fuzz")
+    except OSError as error:
+        print(
+            f"cannot write trace {args.trace}: {error.strerror or error}",
+            file=sys.stderr,
+        )
+        return 2
 
     if args.replay is not None:
         path = Path(args.replay)
         try:
             if path.is_dir():
-                report = replay_corpus(path, limits=limits, pools=args.pools, log=print)
+                report = replay_corpus(
+                    path, limits=limits, pools=args.pools, log=print, tracer=tracer
+                )
             else:
-                outcome = replay_case(load_case(path), limits=limits, pools=args.pools)
+                case = load_case(path)
+                started = tracer.now() if tracer is not None else 0.0
+                if tracer is not None:
+                    tracer.emit("fuzz_start", seeds=1, pools=args.pools)
+                outcome = replay_case(case, limits=limits, pools=args.pools)
+                if tracer is not None:
+                    elapsed = round(tracer.now() - started, 9)
+                    tracer.emit(
+                        "fuzz_case", name=case.name, status=outcome.status, dur=elapsed
+                    )
+                    tracer.emit(
+                        "fuzz_end",
+                        cases=1,
+                        divergent=len(outcome.divergences),
+                        coverage_edges=0,
+                        pool_size=0,
+                        dur=elapsed,
+                    )
                 if outcome.status == "waived":
                     print(f"waived   {outcome.case.name}: {outcome.case.waived}")
                     return 0
@@ -489,6 +592,9 @@ def _command_fuzz(args) -> int:
         except ParseError as error:
             print(str(error), file=sys.stderr)
             return 2
+        finally:
+            if tracer is not None:
+                tracer.close()
         print(report.summary())
         return 0 if report.ok else 1
 
@@ -503,10 +609,14 @@ def _command_fuzz(args) -> int:
             limits=limits,
             save_dir=args.save,
             log=print,
+            tracer=tracer,
         )
     except ParseError as error:
         print(str(error), file=sys.stderr)
         return 2
+    finally:
+        if tracer is not None:
+            tracer.close()
     print(report.summary())
     for outcome in report.divergent:
         for divergence in outcome.divergences:
@@ -516,6 +626,28 @@ def _command_fuzz(args) -> int:
         return 1
     if report.interrupted:
         return 3
+    return 0
+
+
+def _command_trace_report(args) -> int:
+    from .obs import TraceFormatError, read_trace, render_report
+
+    if args.top < 1:
+        print("--top must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        events = read_trace(args.trace)
+    except (TraceFormatError, OSError) as error:
+        print(_input_error(error), file=sys.stderr)
+        return 2
+    try:
+        print(render_report(events, top=args.top))
+    except TraceFormatError as error:
+        # E.g. round totals that do not sum to the chase_end counters: a
+        # corrupt or hand-edited trace, reported on one line like any other
+        # malformed input.
+        print(str(error), file=sys.stderr)
+        return 2
     return 0
 
 
@@ -543,6 +675,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_sweep(args)
     if args.command == "fuzz":
         return _command_fuzz(args)
+    if args.command == "trace-report":
+        return _command_trace_report(args)
     if args.command == "list":
         return _command_list()
     parser.print_help()

@@ -12,13 +12,13 @@
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional
 
 from ..chase.bounds import static_simplification_size_bound
 from ..core.instances import Database
 from ..generators.data_generator import generate_database
 from ..generators.tgd_generator import generate_tgds, make_schema
+from ..obs.clock import perf_counter_s
 from ..simplification.dynamic import dynamic_simplification
 from ..simplification.static import static_simplification
 from ..storage.shape_finder import InMemoryShapeFinder
@@ -66,13 +66,13 @@ def ablation_static_vs_dynamic_simplification(
         )
         shapes = InMemoryShapeFinder(store).find_shapes()
 
-        start = time.perf_counter()
+        start = perf_counter_s()
         static = static_simplification(tgds)
-        t_static = time.perf_counter() - start
+        t_static = perf_counter_s() - start
 
-        start = time.perf_counter()
+        start = perf_counter_s()
         dynamic = dynamic_simplification(shapes, tgds)
-        t_dynamic = time.perf_counter() - start
+        t_dynamic = perf_counter_s() - start
 
         dynamic_size = max(1, len(dynamic.tgds))
         rows.append(
@@ -128,9 +128,9 @@ def ablation_materialization_vs_acyclicity(
         )
         database = store.to_database()
 
-        start = time.perf_counter()
+        start = perf_counter_s()
         acyclicity_report = is_chase_finite_sl(database, tgds)
-        t_acyclic = time.perf_counter() - start
+        t_acyclic = perf_counter_s() - start
 
         materialization_report = is_chase_finite_materialization(
             database, tgds, max_atoms=materialization_budget

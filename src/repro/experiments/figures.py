@@ -22,12 +22,12 @@ Figure map
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional
 
 from ..core.parser import parse_rules
 from ..graph.dependency_graph import build_dependency_graph
 from ..graph.tarjan import find_special_sccs
+from ..obs.clock import perf_counter_s
 from ..simplification.dynamic import dynamic_simplification
 from ..storage.shape_finder import InDatabaseShapeFinder, InMemoryShapeFinder
 from ..termination.simple_linear import is_chase_finite_sl
@@ -82,18 +82,18 @@ def figure1(config: ExperimentConfig = DEFAULT) -> List[Row]:
 
 def _measure_db_independent(rule_set: LinearRuleSet, shapes) -> Row:
     """Measure the db-independent component for one (rule set, shape set) pair."""
-    start = time.perf_counter()
+    start = perf_counter_s()
     tgds = parse_rules(rule_set.rules_text)
-    t_parse = time.perf_counter() - start
+    t_parse = perf_counter_s() - start
 
-    start = time.perf_counter()
+    start = perf_counter_s()
     simplification = dynamic_simplification(shapes, tgds)
     graph = build_dependency_graph(simplification.tgds)
-    t_graph = time.perf_counter() - start
+    t_graph = perf_counter_s() - start
 
-    start = time.perf_counter()
+    start = perf_counter_s()
     special = find_special_sccs(graph)
-    t_comp = time.perf_counter() - start
+    t_comp = perf_counter_s() - start
 
     return {
         "predicate_profile": rule_set.profile.predicates.label,
@@ -164,13 +164,13 @@ def figure2(config: ExperimentConfig = DEFAULT) -> List[Row]:
 def _figure_find_shapes(config: ExperimentConfig, method: str, figure: str) -> List[Row]:
     rows: List[Row] = []
     for rule_set, view, restricted in _linear_grid(config):
-        start = time.perf_counter()
+        start = perf_counter_s()
         if method == "in-memory":
             finder = InMemoryShapeFinder(restricted)
         else:
             finder = InDatabaseShapeFinder(restricted)
         shapes = finder.find_shapes()
-        elapsed = time.perf_counter() - start
+        elapsed = perf_counter_s() - start
         rows.append(
             {
                 "figure": figure,

@@ -33,7 +33,6 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from concurrent import futures
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -42,6 +41,8 @@ from ..chase.engine import BACKENDS
 from ..chase.parallel import parallel_chase
 from ..chase.result import ChaseLimits
 from ..exceptions import ExperimentConfigError
+from ..obs.clock import perf_counter_s
+from ..obs.tracer import AnyTracer, as_tracer
 from ..storage.shape_finder import DeltaShapeFinder, InMemoryShapeFinder
 from ..termination.incremental import IncrementalLinearChecker
 from ..termination.linear import is_chase_finite_l
@@ -207,9 +208,9 @@ def _run_task_in_worker(task: SweepTask) -> Tuple[str, List[Row], float]:
     """Execute one task in a pool worker; elapsed is measured here so the
     checkpoint records task cost, not queue wait."""
     assert _WORKER_STATE is not None, "worker initializer did not run"
-    start = time.perf_counter()
+    start = perf_counter_s()
     rows = _execute_task(_WORKER_STATE, task)
-    return task.task_id, rows, time.perf_counter() - start
+    return task.task_id, rows, perf_counter_s() - start
 
 
 # --------------------------------------------------------------------------- #
@@ -258,7 +259,7 @@ def _execute_chase_task(state: _WorkerState, task: SweepTask) -> List[Row]:
         state.config, task.profile_index, task.sample_index, schema=state.schema
     )
     database = build_chase_database(state.config, state.store, rule_set.tgds)
-    start = time.perf_counter()
+    start = perf_counter_s()
     # Each task builds (and discards) its own store, so pooled sweeps hold
     # one connection per worker process — SQLite connections never cross
     # process boundaries.
@@ -272,7 +273,7 @@ def _execute_chase_task(state: _WorkerState, task: SweepTask) -> List[Row]:
         backend=state.chase_backend,
         materialize=False,
     )
-    elapsed = time.perf_counter() - start
+    elapsed = perf_counter_s() - start
     return [
         {
             "task_id": task.task_id,
@@ -435,6 +436,7 @@ def run_sweep(
     progress: Optional[Callable[[str], None]] = None,
     chase_workers: int = 1,
     chase_backend: str = "instance",
+    tracer: Optional[AnyTracer] = None,
 ) -> SweepResult:
     """Run (or resume) a workload sweep and return its rows in plan order.
 
@@ -472,6 +474,11 @@ def run_sweep(
         deterministic column identical, so it stays out of the fingerprint
         too.  Persistent ``sqlite:<path>`` specs are rejected — pooled
         workers must not share one database file.
+    tracer:
+        A :class:`repro.obs.Tracer` (or ``None``).  When given, the sweep
+        emits ``sweep_start``, one ``sweep_task`` per task (resumed tasks
+        included, with ``dur`` 0.0 — checkpoint reuse costs no execution),
+        and ``sweep_end``; tracing never changes the rows.
     """
     if workers < 1:
         raise ExperimentConfigError("workers must be >= 1")
@@ -503,6 +510,22 @@ def run_sweep(
         f"sweep: {len(tasks)} tasks planned, {len(resumed_ids)} resumed from "
         f"checkpoint, {len(pending)} to run with {workers} worker(s)"
     )
+    active_tracer = as_tracer(tracer)
+    traced = active_tracer.enabled
+    kind_of = {task.task_id: task.kind for task in tasks}
+    if traced:
+        active_tracer.emit(
+            "sweep_start", n_tasks=len(tasks), workers=workers, kinds=list(kinds)
+        )
+        for task_id in resumed_ids:
+            active_tracer.emit(
+                "sweep_task",
+                task_id=task_id,
+                kind=kind_of[task_id],
+                rows=len(completed[task_id]),
+                resumed=True,
+                dur=0.0,
+            )
 
     handle = None
     if checkpoint_path is not None and pending:
@@ -511,7 +534,7 @@ def run_sweep(
         )
         handle = _open_checkpoint(checkpoint_path, fingerprint, already_exists=has_header)
 
-    start = time.perf_counter()
+    start = perf_counter_s()
     fresh: Dict[str, List[Row]] = {}
     try:
         if not pending:
@@ -521,12 +544,21 @@ def run_sweep(
                 config, pending_kinds, incremental, chase_workers, chase_backend
             )
             for task in pending:
-                task_start = time.perf_counter()
+                task_start = perf_counter_s()
                 rows = _json_roundtrip(_execute_task(state, task))
-                task_elapsed = time.perf_counter() - task_start
+                task_elapsed = perf_counter_s() - task_start
                 fresh[task.task_id] = rows
                 if handle is not None:
                     _append_checkpoint(handle, task.task_id, rows, task_elapsed)
+                if traced:
+                    active_tracer.emit(
+                        "sweep_task",
+                        task_id=task.task_id,
+                        kind=task.kind,
+                        rows=len(rows),
+                        resumed=False,
+                        dur=round(task_elapsed, 9),
+                    )
                 note(f"done {task.task_id} ({len(rows)} rows)")
         else:
             with futures.ProcessPoolExecutor(
@@ -541,11 +573,20 @@ def run_sweep(
                     fresh[task_id] = rows
                     if handle is not None:
                         _append_checkpoint(handle, task_id, rows, task_elapsed)
+                    if traced:
+                        active_tracer.emit(
+                            "sweep_task",
+                            task_id=task_id,
+                            kind=kind_of[task_id],
+                            rows=len(rows),
+                            resumed=False,
+                            dur=round(task_elapsed, 9),
+                        )
                     note(f"done {task_id} ({len(rows)} rows)")
     finally:
         if handle is not None:
             handle.close()
-    elapsed = time.perf_counter() - start
+    elapsed = perf_counter_s() - start
 
     all_rows: List[Row] = []
     completed_ids: List[str] = []
@@ -560,6 +601,13 @@ def run_sweep(
         else:
             pending_ids.append(task.task_id)
 
+    if traced:
+        active_tracer.emit(
+            "sweep_end",
+            completed=len(completed_ids),
+            pending=len(pending_ids),
+            dur=round(elapsed, 9),
+        )
     return SweepResult(
         rows=all_rows,
         completed_task_ids=completed_ids,

@@ -12,13 +12,13 @@ paper's reported value and the value measured on the rebuilt scenario.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Iterable, List, Optional
 
 from ..core.parser import parse_rules
 from ..core.serializer import serialize_rules
 from ..graph.dependency_graph import build_dependency_graph
 from ..graph.tarjan import find_special_sccs
+from ..obs.clock import perf_counter_s
 from ..scenarios import PAPER_TABLE_2_MS, Scenario, build_scenario, scenario_names
 from ..simplification.dynamic import dynamic_simplification
 from ..storage.shape_finder import InDatabaseShapeFinder, InMemoryShapeFinder
@@ -73,9 +73,9 @@ def _run_l_breakdown(scenario: Scenario) -> Row:
     """Measure t-parse / t-graph / t-comp / t-shapes (both methods) for a scenario."""
     rules_text = serialize_rules(scenario.tgds)
 
-    start = time.perf_counter()
+    start = perf_counter_s()
     tgds = parse_rules(rules_text)
-    t_parse = time.perf_counter() - start
+    t_parse = perf_counter_s() - start
 
     timings: Dict[str, float] = {}
     shapes_by_method = {}
@@ -83,19 +83,19 @@ def _run_l_breakdown(scenario: Scenario) -> Row:
         ("in_db", InDatabaseShapeFinder),
         ("in_memory", InMemoryShapeFinder),
     ):
-        start = time.perf_counter()
+        start = perf_counter_s()
         shapes_by_method[method] = finder_class(scenario.store).find_shapes()
-        timings[f"t_shapes_{method}"] = time.perf_counter() - start
+        timings[f"t_shapes_{method}"] = perf_counter_s() - start
 
     shapes = shapes_by_method["in_memory"]
-    start = time.perf_counter()
+    start = perf_counter_s()
     simplification = dynamic_simplification(shapes, tgds)
     graph = build_dependency_graph(simplification.tgds)
-    t_graph = time.perf_counter() - start
+    t_graph = perf_counter_s() - start
 
-    start = time.perf_counter()
+    start = perf_counter_s()
     special = find_special_sccs(graph)
-    t_comp = time.perf_counter() - start
+    t_comp = perf_counter_s() - start
 
     return {
         "t_parse": t_parse,

@@ -20,7 +20,6 @@ the clock merely decides where it is cut off.
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -29,6 +28,8 @@ from ..core.instances import Database
 from ..core.tgds import TGDSet
 from ..exceptions import ParseError, ReproError
 from ..generators.adversarial import FAMILY_NAMES, adversarial_cases
+from ..obs.clock import monotonic_s
+from ..obs.tracer import AnyTracer, as_tracer
 from .corpus import FuzzCase, case_from_program, load_corpus, save_case
 from .coverage_map import trace_probe
 from .mutate import MutationFailed, mutate_many
@@ -39,6 +40,11 @@ Program = Tuple[Database, TGDSet]
 
 #: Cheap reference run used only for the coverage probe (never an oracle).
 PROBE_LIMITS = ChaseLimits(max_atoms=80, max_rounds=4)
+
+#: Search-phase cases between two ``fuzz_progress`` trace events
+#: (count-triggered, so a traced run's event count is a pure function of
+#: the case sequence, not of wall time).
+PROGRESS_EVERY_CASES = 10
 
 
 @dataclass(frozen=True)
@@ -75,11 +81,6 @@ class FuzzReport:
             f"{self.coverage_edges} coverage edges, pool {self.pool_size}, "
             f"{self.elapsed_seconds:.1f}s"
         )
-
-
-def _monotonic() -> float:
-    # reprolint: disable=determinism -- wall clock only bounds how many iterations run, never the content of any generated case
-    return time.monotonic()
 
 
 def replay_case(
@@ -137,14 +138,32 @@ def replay_corpus(
     limits: ChaseLimits = DEFAULT_LIMITS,
     pools: str = "full",
     log: Optional[Callable[[str], None]] = None,
+    tracer: Optional[AnyTracer] = None,
 ) -> FuzzReport:
-    """Replay every committed case; waived cases are reported, not run."""
-    started = _monotonic()
+    """Replay every committed case; waived cases are reported, not run.
+
+    *tracer* (a :class:`repro.obs.Tracer`) receives ``fuzz_start``, one
+    ``fuzz_case`` per case, and ``fuzz_end``; tracing never changes the
+    verdicts.
+    """
+    active_tracer = as_tracer(tracer)
+    traced = active_tracer.enabled
+    started = monotonic_s()
     report = FuzzReport()
     cases = load_corpus(corpus_dir)
     report.seeds_loaded = len(cases)
+    if traced:
+        active_tracer.emit("fuzz_start", seeds=len(cases), pools=pools)
     for case in cases:
+        case_started = monotonic_s() if traced else 0.0
         outcome = replay_case(case, limits=limits, pools=pools)
+        if traced:
+            active_tracer.emit(
+                "fuzz_case",
+                name=case.name,
+                status=outcome.status,
+                dur=round(monotonic_s() - case_started, 9),
+            )
         if outcome.status == "waived":
             report.waived.append(case)
             if log:
@@ -158,7 +177,16 @@ def replay_corpus(
                     log(f"DIVERGED {case.name}: {divergence}")
         elif log:
             log(f"ok       {case.name}")
-    report.elapsed_seconds = _monotonic() - started
+    report.elapsed_seconds = monotonic_s() - started
+    if traced:
+        active_tracer.emit(
+            "fuzz_end",
+            cases=report.cases_run,
+            divergent=len(report.divergent),
+            coverage_edges=0,
+            pool_size=0,
+            dur=round(report.elapsed_seconds, 9),
+        )
     return report
 
 
@@ -215,13 +243,22 @@ def fuzz(
     save_dir=None,
     scale: float = 1.0,
     log: Optional[Callable[[str], None]] = None,
+    tracer: Optional[AnyTracer] = None,
 ) -> FuzzReport:
     """Run the full fuzzing loop and return its report.
 
     With neither *time_budget* nor *max_cases* given, the search phase runs
     a default 50 mutated cases on top of the seed replay.
+
+    *tracer* (a :class:`repro.obs.Tracer`) receives ``fuzz_start``, one
+    ``fuzz_case`` per seed replay and search case, one ``fuzz_progress``
+    every :data:`PROGRESS_EVERY_CASES` search cases, and ``fuzz_end``.
+    Tracing is observation only — with a fixed seed the generated case
+    sequence is identical with or without it.
     """
-    started = _monotonic()
+    active_tracer = as_tracer(tracer)
+    traced = active_tracer.enabled
+    started = monotonic_s()
     if time_budget is None and max_cases is None:
         max_cases = 50
     deadline = None if time_budget is None else started + time_budget
@@ -239,9 +276,12 @@ def fuzz(
         # Phase 1: replay all seeds through the oracles; build the live pool.
         pool = _seed_programs(corpus_dir, families, seed, scale)
         report.seeds_loaded = len(pool)
+        if traced:
+            active_tracer.emit("fuzz_start", seeds=len(pool), pools=pools)
         edges = set()
         for name, (database, tgds) in pool:
             report.cases_run += 1
+            case_started = monotonic_s() if traced else 0.0
             divergences = run_all_oracles(database, tgds, limits=limits, pools=pools)
             if divergences:
                 case = case_from_program(name, database, tgds, note="seed input")
@@ -249,13 +289,20 @@ def fuzz(
                 if log:
                     log(f"DIVERGED seed {name}: {divergences[0]}")
             edges |= _probe_edges(database, tgds)
-            if deadline is not None and _monotonic() >= deadline:
+            if traced:
+                active_tracer.emit(
+                    "fuzz_case",
+                    name=name,
+                    status="divergent" if divergences else "ok",
+                    dur=round(monotonic_s() - case_started, 9),
+                )
+            if deadline is not None and monotonic_s() >= deadline:
                 break
 
         # Phase 2: coverage-guided mutation search.
         counter = 0
         while True:
-            if deadline is not None and _monotonic() >= deadline:
+            if deadline is not None and monotonic_s() >= deadline:
                 break
             if max_cases is not None and counter >= max_cases:
                 break
@@ -263,12 +310,38 @@ def fuzz(
                 break
             counter += 1
             report.cases_run += 1
+            case_started = monotonic_s() if traced else 0.0
+            case_name = f"fuzz-{seed}-{counter:04d}"
+
+            def emit_case(status: str) -> None:
+                if not traced:
+                    return
+                active_tracer.emit(
+                    "fuzz_case",
+                    name=case_name,
+                    status=status,
+                    dur=round(monotonic_s() - case_started, 9),
+                )
+                if counter % PROGRESS_EVERY_CASES == 0:
+                    elapsed_now = monotonic_s() - started
+                    active_tracer.emit(
+                        "fuzz_progress",
+                        cases=report.cases_run,
+                        cases_per_s=round(
+                            report.cases_run / elapsed_now if elapsed_now > 0 else 0.0, 3
+                        ),
+                        coverage_edges=len(edges),
+                        pool_size=len(pool),
+                        divergent=len(report.divergent),
+                    )
+
             origin, (database, tgds) = pool[rng.randrange(len(pool))]
             try:
                 (mutated_db, mutated_tgds), applied = mutate_many(
                     rng, database, tgds, count=rng.randint(1, 3)
                 )
             except MutationFailed:
+                emit_case("skipped")
                 continue
             divergences = run_all_oracles(
                 mutated_db, mutated_tgds, limits=limits, pools=pools
@@ -293,6 +366,7 @@ def fuzz(
                     log(f"DIVERGED {name} (from {origin}): {final[0] if final else divergences[0]}")
                 if save_dir is not None:
                     save_case(case, save_dir)
+                emit_case("divergent")
                 continue
             gained = _probe_edges(mutated_db, mutated_tgds) - edges
             if gained:
@@ -300,9 +374,19 @@ def fuzz(
                 pool.append((f"pool-{counter}", (mutated_db, mutated_tgds)))
                 if log:
                     log(f"new coverage (+{len(gained)}) from {origin}; pool={len(pool)}")
+            emit_case("ok")
         report.coverage_edges = len(edges)
         report.pool_size = len(pool)
     except KeyboardInterrupt:
         report.interrupted = True
-    report.elapsed_seconds = _monotonic() - started
+    report.elapsed_seconds = monotonic_s() - started
+    if traced:
+        active_tracer.emit(
+            "fuzz_end",
+            cases=report.cases_run,
+            divergent=len(report.divergent),
+            coverage_edges=report.coverage_edges,
+            pool_size=report.pool_size,
+            dur=round(report.elapsed_seconds, 9),
+        )
     return report

@@ -96,7 +96,7 @@ class CompiledBodyQuery:
         # query() runs under the store's connection lock; executing on the
         # raw connection here would bypass the one-thread-in-SQLite
         # invariant (reprolint: lock-discipline).
-        rows = store.query(self.sql, named)
+        rows = store.query(self.sql, named, family="trigger-join")
         for row in rows:
             mapping = {
                 variable: decode_value(row[index])

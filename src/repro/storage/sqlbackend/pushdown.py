@@ -50,6 +50,7 @@ from ...core.predicates import Predicate
 from ...core.terms import Term, Variable
 from ...core.tgds import TGD
 from ...exceptions import ChaseLimitExceeded
+from ...obs.tracer import NULL_TRACER, AnyTracer, as_tracer
 from ..relation import NULL_MARKER, decode_value
 from .store import SqliteAtomStore, _quote, table_name
 
@@ -212,15 +213,22 @@ class CompiledRule:
 
         columns_ddl = ", ".join(f"{c} TEXT NOT NULL" for c in self._key_columns)
         unique = ", ".join(self._key_columns)
-        store.bulk_apply(f"DROP TABLE IF EXISTS temp.{self._stage}")
-        store.bulk_apply(f"CREATE TEMP TABLE {self._stage} ({columns_ddl})")
-        store.bulk_apply(f"DROP TABLE IF EXISTS temp.{self._fired}")
+        store.bulk_apply(f"DROP TABLE IF EXISTS temp.{self._stage}", family="pushdown-ddl")
         store.bulk_apply(
-            f"CREATE TEMP TABLE {self._fired} ({columns_ddl}, UNIQUE({unique}))"
+            f"CREATE TEMP TABLE {self._stage} ({columns_ddl})", family="pushdown-ddl"
+        )
+        store.bulk_apply(f"DROP TABLE IF EXISTS temp.{self._fired}", family="pushdown-ddl")
+        store.bulk_apply(
+            f"CREATE TEMP TABLE {self._fired} ({columns_ddl}, UNIQUE({unique}))",
+            family="pushdown-ddl",
         )
         if self.restricted:
-            store.bulk_apply(f"DROP TABLE IF EXISTS temp.{self._firing}")
-            store.bulk_apply(f"CREATE TEMP TABLE {self._firing} ({columns_ddl})")
+            store.bulk_apply(
+                f"DROP TABLE IF EXISTS temp.{self._firing}", family="pushdown-ddl"
+            )
+            store.bulk_apply(
+                f"CREATE TEMP TABLE {self._firing} ({columns_ddl})", family="pushdown-ddl"
+            )
 
     def stage_sql(self, seed_slot: int) -> str:
         """The staging statement with *seed_slot* as the delta slot."""
@@ -328,10 +336,11 @@ class CompiledRule:
 
     def stage(self, store: SqliteAtomStore, seed_slot: int, delta_start: int, round_start: int) -> int:
         """Stage this (rule, slot)'s new firing keys; return how many."""
-        store.bulk_apply(f"DELETE FROM {self._stage}")
+        store.bulk_apply(f"DELETE FROM {self._stage}", family="pushdown-stage")
         return store.bulk_apply(
             self.stage_sql(seed_slot),
             {"delta_start": delta_start, "round_start": round_start},
+            family="pushdown-stage",
         )
 
     @property
@@ -341,12 +350,14 @@ class CompiledRule:
 
     def record(self, store: SqliteAtomStore) -> None:
         """Memoize the staged keys so later rounds never re-fire them."""
-        store.bulk_apply(self.record_sql)
+        store.bulk_apply(self.record_sql, family="pushdown-record")
 
     def filter_unsatisfied(self, store: SqliteAtomStore, round_start: int) -> int:
         """Restricted check; returns the number of keys that actually fire."""
-        store.bulk_apply(f"DELETE FROM {self._firing}")
-        return store.bulk_apply(self.firing_sql, {"round_start": round_start})
+        store.bulk_apply(f"DELETE FROM {self._firing}", family="pushdown-firing")
+        return store.bulk_apply(
+            self.firing_sql, {"round_start": round_start}, family="pushdown-firing"
+        )
 
 
 def _limit_stopped(
@@ -413,14 +424,28 @@ class PushdownExecutor:
         self.on_limit = on_limit
 
     def run(
-        self, database: Database, tgds: Sequence[TGD], store: SqliteAtomStore
+        self,
+        database: Database,
+        tgds: Sequence[TGD],
+        store: SqliteAtomStore,
+        tracer: Optional[AnyTracer] = None,
     ) -> "ChaseResult":
-        """Chase *database* with *tgds* into *store*; return a ChaseResult."""
+        """Chase *database* with *tgds* into *store*; return a ChaseResult.
+
+        *tracer* (a :class:`repro.obs.Tracer`) makes the run emit the same
+        ``round``/``rule_round`` event stream as the interpreted engines —
+        totals sum exactly to the result's counters.  Pushdown rounds run
+        as set-based statements, so ``rule_round`` events report the fired
+        trigger counts but ``nulls_invented`` (and, on the CTE tier,
+        per-rule ``atoms_created``) as 0: that attribution only exists in
+        the interpreted engines.  Tracing never changes the result.
+        """
         if not isinstance(store, SqliteAtomStore):
             raise ValueError(
                 "the sql-pushdown strategy executes inside SQLite and "
                 "requires a SqliteAtomStore"
             )
+        active_tracer = as_tracer(tracer)
         store.load_database(database)
         register_skolem_function(store)
         rules = [
@@ -430,21 +455,26 @@ class PushdownExecutor:
         linear = bool(rules) and all(len(rule.tgd.body) == 1 for rule in rules)
         if linear and self.variant != "restricted":
             tier = _RecursiveCteTier(rules, store)
-            return tier.run(self.limits, self.on_limit, self.variant)
-        return self._run_rounds(rules, store)
+            return tier.run(self.limits, self.on_limit, self.variant, active_tracer)
+        return self._run_rounds(rules, store, active_tracer)
 
     def _run_rounds(
-        self, rules: List[CompiledRule], store: SqliteAtomStore
+        self,
+        rules: List[CompiledRule],
+        store: SqliteAtomStore,
+        tracer: AnyTracer = NULL_TRACER,
     ) -> "ChaseResult":
         """The delta-round tier: the serial loop, one statement per step."""
         from ...chase.result import ChaseResult
 
         limits = self.limits
+        traced = tracer.enabled
         rounds = 0
         atoms_created = 0
         triggers_fired = 0
         delta_predicates: Optional[Set[str]] = None  # None = initial round
         prev_watermark = 0
+        prev_total = store.atom_count()
         while True:
             if limits.round_budget_exceeded(rounds + 1):
                 return _limit_stopped(
@@ -454,6 +484,11 @@ class PushdownExecutor:
             round_start = store.current_seq()
             round_seq = round_start + 1
             round_inserts: Dict[str, int] = {}
+            round_started = tracer.now() if traced else 0.0
+            round_considered = 0
+            round_fired = 0
+            # rule index -> [staged, fired, atoms, seconds]
+            rule_stats: Dict[int, List[float]] = {}
             for rule in rules:
                 if delta_predicates is None:
                     # Initial round: the slot-0 statement with a zero
@@ -467,27 +502,68 @@ class PushdownExecutor:
                         if atom.predicate.name in delta_predicates
                     )
                     delta_start = prev_watermark
+                rule_started = tracer.now() if traced else 0.0
+                rule_staged = 0
+                rule_fired_count = 0
+                rule_atoms = 0
                 for slot in slots:
                     staged = rule.stage(store, slot, delta_start, round_start)
                     if staged == 0:
                         continue
+                    rule_staged += staged
                     rule.record(store)
                     if rule.restricted:
                         fired = rule.filter_unsatisfied(store, round_start)
                     else:
                         fired = staged
                     triggers_fired += fired
+                    rule_fired_count += fired
                     if fired == 0:
                         continue
                     for head_sql, head_predicate in rule.head_inserts:
                         inserted = store.bulk_apply(
-                            head_sql, {"round_seq": round_seq}, predicate=head_predicate
+                            head_sql,
+                            {"round_seq": round_seq},
+                            predicate=head_predicate,
+                            family="pushdown-apply",
                         )
                         if inserted:
+                            rule_atoms += inserted
                             round_inserts[head_predicate.name] = (
                                 round_inserts.get(head_predicate.name, 0) + inserted
                             )
+                if traced and rule_staged:
+                    round_considered += rule_staged
+                    round_fired += rule_fired_count
+                    rule_stats[rule.tgd_index] = [
+                        rule_staged,
+                        rule_fired_count,
+                        rule_atoms,
+                        tracer.now() - rule_started,
+                    ]
             total = sum(round_inserts.values())
+            if traced:
+                for rule_index in sorted(rule_stats):
+                    staged_n, fired_n, atoms_n, seconds = rule_stats[rule_index]
+                    tracer.emit(
+                        "rule_round",
+                        round=rounds + 1,
+                        rule=rule_index,
+                        enumerated=int(staged_n),
+                        fired=int(fired_n),
+                        atoms_created=int(atoms_n),
+                        nulls_invented=0,
+                        dur=round(float(seconds), 9),
+                    )
+                tracer.emit(
+                    "round",
+                    round=rounds + 1,
+                    delta_size=prev_total,
+                    considered=round_considered,
+                    fired=round_fired,
+                    atoms_created=total,
+                    dur=round(tracer.now() - round_started, 9),
+                )
             if total == 0:
                 store.flush()
                 return ChaseResult(
@@ -505,6 +581,7 @@ class PushdownExecutor:
             atoms_created += total
             rounds += 1
             prev_watermark = round_start
+            prev_total = total
             delta_predicates = set(round_inserts)
             if limits.atom_budget_exceeded(store.atom_count()):
                 return _limit_stopped(
@@ -565,13 +642,17 @@ class _RecursiveCteTier:
 
     def _bind(self, store: SqliteAtomStore) -> None:
         key_columns = ", ".join(f"k{i} TEXT NOT NULL" for i in range(self.width))
-        store.bulk_apply(f"DROP TABLE IF EXISTS temp.{self.ATOMS_TABLE}")
         store.bulk_apply(
-            f"CREATE TEMP TABLE {self.ATOMS_TABLE} "
-            f"(pred TEXT NOT NULL, {key_columns}, min_round INTEGER NOT NULL)"
+            f"DROP TABLE IF EXISTS temp.{self.ATOMS_TABLE}", family="pushdown-ddl"
         )
         store.bulk_apply(
-            f"CREATE INDEX pd_cte_atoms_pred ON {self.ATOMS_TABLE} (pred, min_round)"
+            f"CREATE TEMP TABLE {self.ATOMS_TABLE} "
+            f"(pred TEXT NOT NULL, {key_columns}, min_round INTEGER NOT NULL)",
+            family="pushdown-ddl",
+        )
+        store.bulk_apply(
+            f"CREATE INDEX pd_cte_atoms_pred ON {self.ATOMS_TABLE} (pred, min_round)",
+            family="pushdown-ddl",
         )
 
     def _compile_cte(self, store: SqliteAtomStore) -> str:
@@ -666,7 +747,13 @@ class _RecursiveCteTier:
             f"FROM {self.ATOMS_TABLE} WHERE {' AND '.join(where)})"
         )
 
-    def run(self, limits: "ChaseLimits", on_limit: str, variant: str) -> "ChaseResult":
+    def run(
+        self,
+        limits: "ChaseLimits",
+        on_limit: str,
+        variant: str,
+        tracer: AnyTracer = NULL_TRACER,
+    ) -> "ChaseResult":
         from ...chase.result import ChaseResult
 
         store = self.store
@@ -677,12 +764,15 @@ class _RecursiveCteTier:
         else:
             cap = _CTE_INITIAL_CAP
         while True:
-            store.bulk_apply(f"DELETE FROM {self.ATOMS_TABLE}")
-            store.bulk_apply(self.cte_sql, {**self._params, "cap": cap})
+            store.bulk_apply(f"DELETE FROM {self.ATOMS_TABLE}", family="pushdown-ddl")
+            store.bulk_apply(
+                self.cte_sql, {**self._params, "cap": cap}, family="pushdown-cte"
+            )
             counts = dict(
                 store.query(
                     f"SELECT min_round, COUNT(*) FROM {self.ATOMS_TABLE} "
-                    "WHERE min_round > 0 GROUP BY min_round"
+                    "WHERE min_round > 0 GROUP BY min_round",
+                    family="pushdown-cte-count",
                 )
             )
             outcome = self._replay_budget(counts, cap, limits, base_total)
@@ -702,8 +792,11 @@ class _RecursiveCteTier:
         if cutoff >= 0:
             for count_sql in self._count_sqls:
                 triggers_fired += store.query(
-                    count_sql, {**self._params, "cutoff": cutoff}
+                    count_sql, {**self._params, "cutoff": cutoff},
+                    family="pushdown-cte-count",
                 )[0][0]
+        if tracer.enabled:
+            self._emit_trace(tracer, counts, base_total, rounds, stop_reason)
 
         if rounds > 0:
             for predicate in self.predicates:
@@ -711,6 +804,7 @@ class _RecursiveCteTier:
                     self.final_insert_sql(predicate),
                     {"base": base_seq, "pred": predicate.name, "stop": rounds},
                     predicate=predicate,
+                    family="pushdown-cte-apply",
                 )
             store.advance_seq(base_seq + rounds)
         store.flush()
@@ -727,6 +821,70 @@ class _RecursiveCteTier:
             stop_reason=stop_reason,
             store=store,
         )
+
+    def _emit_trace(
+        self,
+        tracer: AnyTracer,
+        counts: Dict[int, int],
+        base_total: int,
+        rounds: int,
+        stop_reason: str,
+    ) -> None:
+        """Reconstruct the engines' ``round``/``rule_round`` stream post hoc.
+
+        The recursion ran as one statement, so per-round timing does not
+        exist (``dur`` is 0.0) and head insertions are not attributed to
+        rules; the counts are exact, recovered from the cumulative
+        distinct-firing-key queries: round ``r`` fires
+        ``cum(r-1) - cum(r-2)`` triggers per rule, so the stream sums to
+        the result's ``triggers_fired``/``atoms_created`` exactly — the
+        same contract the interpreted engines honour.
+        """
+        # The serial loop would run a final, trigger-enumerating round to
+        # observe the fixpoint; budget stops end before that round runs.
+        emit_rounds = rounds + 1 if stop_reason == "fixpoint" else rounds
+        if emit_rounds <= 0:
+            return
+        # cumulative[i][k] = rule i's distinct firing keys over rows with
+        # min_round <= k; round r consumes the k = r-1 increment.
+        cumulative = [
+            [
+                int(
+                    self.store.query(
+                        count_sql, {**self._params, "cutoff": k},
+                        family="pushdown-cte-count",
+                    )[0][0]
+                )
+                for k in range(emit_rounds)
+            ]
+            for count_sql in self._count_sqls
+        ]
+        for r in range(1, emit_rounds + 1):
+            round_fired = 0
+            for rule, cum in zip(self.rules, cumulative):
+                fired = cum[r - 1] - (cum[r - 2] if r >= 2 else 0)
+                if fired == 0:
+                    continue
+                round_fired += fired
+                tracer.emit(
+                    "rule_round",
+                    round=r,
+                    rule=rule.tgd_index,
+                    enumerated=fired,
+                    fired=fired,
+                    atoms_created=0,
+                    nulls_invented=0,
+                    dur=0.0,
+                )
+            tracer.emit(
+                "round",
+                round=r,
+                delta_size=base_total if r == 1 else counts.get(r - 1, 0),
+                considered=round_fired,
+                fired=round_fired,
+                atoms_created=counts.get(r, 0) if r <= rounds else 0,
+                dur=0.0,
+            )
 
     @staticmethod
     def _replay_budget(
@@ -861,7 +1019,7 @@ class CompiledPlanQuery:
     def _rows(self, store: SqliteAtomStore, sql: str, parameters: Dict) -> Iterator[Dict]:
         if not all(store.has_relation(p) for p in self.body_predicates):
             return
-        for row in store.query(sql, parameters):
+        for row in store.query(sql, parameters, family="pushdown-match"):
             yield {
                 variable: decode_value(value)
                 for variable, value in zip(self.variables, row)

@@ -81,5 +81,5 @@ class SqliteShapeFinder(InDatabaseShapeFinder):
         sql = shape_query_sqlite(shape, relaxed=relaxed)
         # query() runs under the store's connection lock, so shape probes
         # are safe against concurrent chase writers on the same store.
-        (exists,) = self._store.query(sql)[0]
+        (exists,) = self._store.query(sql, family="shape-probe")[0]
         return bool(exists)

@@ -80,6 +80,7 @@ from ...core.instances import Database, Instance
 from ...core.predicates import Predicate
 from ...core.terms import Term
 from ...exceptions import StorageError, ValidationError
+from ...obs.metrics import StatementMetrics
 from ..relation import decode_value, encode_term
 
 #: The path spelling selecting a transient in-memory database.
@@ -176,6 +177,10 @@ class SqliteAtomStore:
         #: (predicate name, position) pairs with a created index.
         self._indexed: Set[Tuple[str, int]] = set()
         self._seq = 0
+        #: Optional :class:`repro.obs.StatementMetrics` timing the compiled
+        #: statement families; ``None`` (the default) keeps the untraced
+        #: query/bulk_apply paths to a single attribute test.
+        self._statement_metrics: Optional[StatementMetrics] = None
         # connect() is lazy: a locked, corrupt, or non-database file only
         # fails at the first statement, so the whole bootstrap shares the
         # StorageError contract.
@@ -332,16 +337,40 @@ class SqliteAtomStore:
         """
         return ""
 
+    def set_statement_metrics(self, metrics: Optional[StatementMetrics]) -> None:
+        """Attach (or detach, with ``None``) per-statement-family timing.
+
+        *metrics* is a :class:`repro.obs.StatementMetrics`; once attached,
+        :meth:`query`/:meth:`bulk_apply` calls that carry a ``family`` label
+        record count/total/max seconds and row counts under it.  Timing is
+        pure observation — it never changes what a statement does — and the
+        adapter owns the clock, so this module stays free of wall-clock
+        reads (reprolint's determinism rule checks that).
+        """
+        self._statement_metrics = metrics
+
     def query(
-        self, sql: str, parameters: Union[Sequence[object], Mapping[str, object]] = ()
+        self,
+        sql: str,
+        parameters: Union[Sequence[object], Mapping[str, object]] = (),
+        family: Optional[str] = None,
     ) -> List[Tuple]:
         """Run one read statement under the connection lock; fetch all rows.
 
         The entry point for compiled pushdown reads (trigger-witness
         enumeration, ``EXPLAIN QUERY PLAN`` introspection): callers never
         touch the connection directly, so the one-thread-in-SQLite
-        invariant of the store holds for them too.
+        invariant of the store holds for them too.  *family* names the
+        compiled statement family for the attached metrics (ignored when
+        detached).
         """
+        metrics = self._statement_metrics
+        if metrics is not None and family is not None:
+            started = metrics.start()
+            with self._connection_lock:
+                rows = self._connection.execute(sql, parameters).fetchall()
+            metrics.record(family, started, rows_read=len(rows))
+            return rows
         with self._connection_lock:
             return self._connection.execute(sql, parameters).fetchall()
 
@@ -350,6 +379,7 @@ class SqliteAtomStore:
         sql: str,
         parameters: Union[Sequence[object], Mapping[str, object]] = (),
         predicate: Optional[Predicate] = None,
+        family: Optional[str] = None,
     ) -> int:
         """Run one compiled write statement inside the store transaction.
 
@@ -359,7 +389,23 @@ class SqliteAtomStore:
         chase's ``atoms_created`` accounting needs.  When *predicate* is
         given, the cached per-relation row count is advanced by the same
         amount (the statement is expected to target that relation).
+        *family* labels the statement for the attached metrics, like
+        :meth:`query`.
         """
+        metrics = self._statement_metrics
+        if metrics is not None and family is not None:
+            started = metrics.start()
+            changed = self._bulk_apply_locked(sql, parameters, predicate)
+            metrics.record(family, started, rows_changed=changed)
+            return changed
+        return self._bulk_apply_locked(sql, parameters, predicate)
+
+    def _bulk_apply_locked(
+        self,
+        sql: str,
+        parameters: Union[Sequence[object], Mapping[str, object]],
+        predicate: Optional[Predicate],
+    ) -> int:
         with self._connection_lock:
             self._begin()
             before = self._connection.total_changes

@@ -16,7 +16,6 @@ guessing.
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 from ..chase.bounds import chase_size_bound
@@ -24,6 +23,7 @@ from ..chase.engine import SemiObliviousChase
 from ..chase.result import ChaseLimits
 from ..core.instances import Database
 from ..core.tgds import TGDSet
+from ..obs.clock import perf_counter_s
 from .report import MaterializationReport
 
 
@@ -52,10 +52,10 @@ def is_chase_finite_materialization(
     bound = chase_size_bound(database, tgds, cap=bound_cap)
     effective_limit = bound.value if max_atoms is None else min(max_atoms, bound.value)
 
-    start = time.perf_counter()
+    start = perf_counter_s()
     engine = SemiObliviousChase(limits=ChaseLimits(max_atoms=effective_limit, max_rounds=None))
     result = engine.run(database, tgds)
-    elapsed = time.perf_counter() - start
+    elapsed = perf_counter_s() - start
 
     if result.terminated:
         return MaterializationReport(

@@ -17,10 +17,11 @@ report classes attach them to the boolean answer.
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Optional
+
+from ..obs.clock import perf_counter_s
 
 
 class Stopwatch:
@@ -32,12 +33,12 @@ class Stopwatch:
     @contextmanager
     def measure(self, phase: str):
         """Context manager accumulating wall-clock time into *phase*."""
-        start = time.perf_counter()
+        start = perf_counter_s()
         try:
             yield
         finally:
             self._durations[phase] = self._durations.get(phase, 0.0) + (
-                time.perf_counter() - start
+                perf_counter_s() - start
             )
 
     def record(self, phase: str, seconds: float) -> None:

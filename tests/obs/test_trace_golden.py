@@ -1,0 +1,79 @@
+"""Golden-file test: the exact JSONL a traced chase writes.
+
+A fixed program (transitive closure plus one existential rule) is chased
+with a :class:`~repro.obs.clock.ManualClock`-driven tracer, so the trace is
+fully deterministic, and the result is compared line by line against the
+committed golden file.  Timing fields still get normalised before the
+comparison — the golden pins the *event structure* (types, order, counts,
+schema fields), not how many clock reads the engine makes per trigger.
+
+Regenerate after an intentional schema or instrumentation change with::
+
+    PYTHONPATH=src:. python tests/obs/test_trace_golden.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.chase.engine import chase
+from repro.core.parser import parse_database, parse_rules
+from repro.obs import JsonlTraceSink, ManualClock, Tracer, read_trace
+
+GOLDEN = Path(__file__).with_name("golden_trace.jsonl")
+
+#: Timing fields carry clock arithmetic, not structure; they are normalised
+#: to a placeholder before the golden comparison.
+TIMING_FIELDS = ("t", "dur", "seconds_total", "seconds_max")
+
+RULES = [
+    "E(x,y) -> T(x,y)",
+    "E(x,y), T(y,z) -> T(x,z)",
+    "T(x,y) -> exists z . N(x,z)",
+]
+FACTS = ["E(a,b).", "E(b,c).", "E(c,d)."]
+
+
+def write_trace(path) -> None:
+    """Chase the fixed program with a deterministic tracer into *path*."""
+    database = parse_database(FACTS)
+    tgds = parse_rules(RULES)
+    tracer = Tracer(JsonlTraceSink(path), clock=ManualClock(step=0.001), tool="chase")
+    chase(database, tgds, tracer=tracer)
+    tracer.close()
+
+
+def normalize(events):
+    return [
+        {
+            key: (0.0 if key in TIMING_FIELDS else value)
+            for key, value in sorted(event.items())
+        }
+        for event in events
+    ]
+
+
+def test_traced_chase_matches_the_golden_jsonl(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    write_trace(path)
+    # read_trace validates every line against the schema as it loads.
+    events = normalize(read_trace(path))
+    golden = normalize(read_trace(GOLDEN))
+    assert events == golden, (
+        "traced chase diverged from tests/obs/golden_trace.jsonl; if the "
+        "instrumentation change is intentional, regenerate it with "
+        "'PYTHONPATH=src:. python tests/obs/test_trace_golden.py'"
+    )
+
+
+def test_golden_round_events_sum_to_the_chase_end_totals():
+    from repro.obs import round_totals
+
+    events = read_trace(GOLDEN)
+    (end,) = [event for event in events if event["type"] == "chase_end"]
+    assert round_totals(events) == (end["triggers_fired"], end["atoms_created"])
+
+
+if __name__ == "__main__":
+    write_trace(GOLDEN)
+    print(f"regenerated {GOLDEN} ({len(read_trace(GOLDEN))} events)")

@@ -236,6 +236,63 @@ class TestEngineConformance:
             )
 
 
+class TestTracingTransparency:
+    @given(chase_programs(), st.sampled_from(VARIANTS))
+    def test_traced_equals_untraced(self, program, variant):
+        """Tracing must never perturb the chase: with a live tracer attached
+        the ``ChaseResult`` stays byte-identical to the untraced run — for
+        the serial engines, the compiled pushdown, and the parallel
+        executor — and the per-round events sum exactly to the run totals."""
+        from repro.obs import ListTraceSink, Tracer, round_totals
+
+        database, tgds = program
+        note(describe_program(database, tgds))
+        expected = fingerprint(
+            chase(database, tgds, variant=variant, limits=LIMITS)
+        )
+
+        for label, run in (
+            (
+                "indexed",
+                lambda tracer: chase(
+                    database, tgds, variant=variant, limits=LIMITS, tracer=tracer
+                ),
+            ),
+            (
+                "sql-pushdown",
+                lambda tracer: chase(
+                    database,
+                    tgds,
+                    variant=variant,
+                    limits=LIMITS,
+                    backend="sqlite",
+                    strategy="sql-pushdown",
+                    tracer=tracer,
+                ),
+            ),
+            (
+                "parallel",
+                lambda tracer: parallel_chase(
+                    database,
+                    tgds,
+                    variant=variant,
+                    workers=2,
+                    limits=LIMITS,
+                    executor="thread",
+                    tracer=tracer,
+                ),
+            ),
+        ):
+            sink = ListTraceSink()
+            tracer = Tracer(sink, tool="chase")
+            result = run(tracer)
+            tracer.close()
+            assert fingerprint(result) == expected, f"traced {label} != untraced"
+            fired, atoms = round_totals(sink.events)
+            assert fired == result.triggers_fired, f"{label}: round-event fired sum"
+            assert atoms == result.atoms_created, f"{label}: round-event atom sum"
+
+
 class TestTerminationOracleConformance:
     @given(linear_chase_programs())
     def test_checker_agrees_with_materialization_oracle(self, program):

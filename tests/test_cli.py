@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import main
+from repro.obs import read_trace
 
 
 @pytest.fixture
@@ -576,6 +577,100 @@ class TestSweepCommand:
         capsys.readouterr()
         resumed = base + ["--checkpoint", str(checkpoint), "--chase-backend", "sqlite"]
         assert table(resumed) == reference
+
+
+class TestTraceCommands:
+    """``--trace`` on chase/sweep/fuzz and the ``trace-report`` profiler."""
+
+    @pytest.fixture
+    def tc_rule_file(self, tmp_path):
+        path = tmp_path / "tc_rules.txt"
+        path.write_text("E(x,y) -> T(x,y)\nE(x,y), T(y,z) -> T(x,z)\n")
+        return path
+
+    @pytest.fixture
+    def tc_fact_file(self, tmp_path):
+        path = tmp_path / "tc_facts.txt"
+        path.write_text("E(a,b).\nE(b,c).\n")
+        return path
+
+    def test_chase_trace_then_report(self, tc_rule_file, tc_fact_file, tmp_path, capsys):
+        trace = tmp_path / "chase.jsonl"
+        code = main(
+            ["chase", "--rules", str(tc_rule_file), "--facts", str(tc_fact_file),
+             "--trace", str(trace)]
+        )
+        assert code == 0
+        assert f"trace: {trace}" in capsys.readouterr().out
+
+        events = read_trace(trace)
+        types = [event["type"] for event in events]
+        assert types[0] == "trace_start" and types[1] == "chase_start"
+        assert types[-1] == "chase_end"
+        assert "round" in types and "rule_round" in types
+
+        assert main(["trace-report", str(trace)]) == 0
+        report = capsys.readouterr().out
+        assert "per round:" in report
+        assert "hot rules:" in report
+        assert "cross-check: round events sum exactly" in report
+
+    def test_sweep_trace_records_tasks(self, tmp_path, capsys):
+        trace = tmp_path / "sweep.jsonl"
+        code = main(
+            ["sweep", "--preset", "smoke", "--kinds", "sl", "--limit", "2",
+             "--trace", str(trace)]
+        )
+        assert code == 3  # tasks remain pending under --limit
+        capsys.readouterr()
+        types = [event["type"] for event in read_trace(trace)]
+        assert types[0] == "trace_start" and types[1] == "sweep_start"
+        assert types.count("sweep_task") == 2
+        assert types[-1] == "sweep_end"
+
+    def test_fuzz_replay_trace_records_cases(self, tmp_path, capsys):
+        case = tmp_path / "simple.case"
+        case.write_text(
+            "# name: simple\n--- rules ---\nP(x) -> Q(x)\n--- facts ---\nP(a).\n"
+        )
+        trace = tmp_path / "fuzz.jsonl"
+        code = main(
+            ["fuzz", "--replay", str(case), "--pools", "quick", "--trace", str(trace)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        types = [event["type"] for event in read_trace(trace)]
+        assert types[0] == "trace_start" and types[1] == "fuzz_start"
+        assert "fuzz_case" in types
+        assert types[-1] == "fuzz_end"
+
+    def test_unwritable_trace_path_exits_two(self, tc_rule_file, tmp_path, capsys):
+        bogus = tmp_path / "missing" / "dir" / "trace.jsonl"
+        code = main(["chase", "--rules", str(tc_rule_file), "--trace", str(bogus)])
+        assert code == 2
+        stderr = capsys.readouterr().err
+        assert "cannot write trace" in stderr
+        assert "Traceback" not in stderr
+
+    def test_trace_report_on_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["trace-report", str(tmp_path / "ghost.jsonl")]) == 2
+        stderr = capsys.readouterr().err
+        assert "ghost.jsonl" in stderr
+        assert "Traceback" not in stderr
+
+    def test_trace_report_on_malformed_file_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json at all\n")
+        assert main(["trace-report", str(bad)]) == 2
+        stderr = capsys.readouterr().err
+        assert "not valid JSON" in stderr
+        assert "Traceback" not in stderr
+
+    def test_trace_report_rejects_non_positive_top(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text('{"type": "trace_start", "t": 0, "v": 1, "tool": "chase"}\n')
+        assert main(["trace-report", str(trace), "--top", "0"]) == 2
+        assert "--top" in capsys.readouterr().err
 
 
 class TestListCommand:

@@ -29,6 +29,7 @@ CHECKED_DOCUMENTS = (
     REPO / "docs" / "cli.md",
     REPO / "docs" / "invariants.md",
     REPO / "docs" / "fuzzing.md",
+    REPO / "docs" / "observability.md",
 )
 
 HELP_BLOCK = re.compile(

@@ -304,9 +304,29 @@ class TestDeterminism:
         assert rules_of(report) == ["determinism"]
         assert len(report.findings) == 3
 
-    def test_scope_excludes_non_result_modules(self, tmp_path):
-        # The same banned call outside core/chase/storage (e.g. the bench
-        # harness) is not this rule's business.
+    def test_non_result_modules_get_the_clock_only_tier(self, tmp_path):
+        # Outside core/chase/storage/fuzz/obs, seeded randomness, id(),
+        # environment reads, and set iteration are the harness's own
+        # business — only the wall clock is banned there.
+        report = lint_snippet(
+            tmp_path,
+            "experiments/bench.py",
+            """
+            import os
+            import random
+
+            def shuffle(rows, seed):
+                rng = random.Random(seed)
+                rng.shuffle(rows)
+                tags = set(os.environ["REPRO_BENCH_PRESET"].split(","))
+                return [(id(row), row) for row in rows], list(tags)
+            """,
+        )
+        assert report.ok
+
+    def test_clock_reads_outside_result_modules_are_flagged(self, tmp_path):
+        # The wall clock is banned tree-wide: every duration must flow
+        # through the one injectable seam in repro.obs.clock.
         report = lint_snippet(
             tmp_path,
             "experiments/bench.py",
@@ -317,7 +337,22 @@ class TestDeterminism:
                 return time.time()
             """,
         )
-        assert report.ok
+        assert rules_of(report) == ["determinism"]
+        assert "repro.obs.clock" in report.findings[0].message
+
+    def test_obs_modules_are_in_full_scope(self, tmp_path):
+        # The observability layer feeds ordered trace events, so it gets
+        # every determinism check, not just the clock tier.
+        report = lint_snippet(
+            tmp_path,
+            "obs/report.py",
+            """
+            def hot_rules(events):
+                rules = {event["rule"] for event in events}
+                return list(rules)
+            """,
+        )
+        assert rules_of(report) == ["determinism"]
 
 
 # --------------------------------------------------------------------------- #

@@ -8,9 +8,21 @@ backends, and worker counts.  Two things silently break that property:
   by ``PYTHONHASHSEED``-salted ``hash()`` for str-bearing keys, so the same
   program can emit differently ordered results run to run.
 * **Ambient inputs** — wall clock, randomness, object addresses (``id()``),
-  environment variables — anywhere in ``core``/``chase``/``storage``.
+  environment variables — anywhere in ``core``/``chase``/``storage``/
+  ``fuzz``/``obs``.
 
-The checker flags iteration constructs whose iterable is (statically) a set:
+The checker runs in two tiers.  Modules under the result-path fragments
+(:data:`DeterminismChecker.FULL_SCOPE`) get every check.  Every *other*
+module in the tree gets the clock-only tier: wall-clock reads (``time.*``
+calls, ``from time import ...`` call sites, ``datetime.now/utcnow/today``)
+are flagged with a pointer at :mod:`repro.obs.clock` — the observability
+layer is the single module allowed to touch the wall clock (its two reads
+carry justified waivers), so every duration in the tree flows through one
+injectable, testable seam.  Randomness, ``id()``, environment reads, and
+set iteration stay legal outside the result paths (the experiment harness
+seeds its own RNGs deliberately).
+
+The full tier flags iteration constructs whose iterable is (statically) a set:
 ``for`` loops, ``list()``/``tuple()``/``enumerate()`` conversions, and list/
 generator/dict comprehensions.  Order-insensitive consumers are exempt: a
 set comprehension, membership tests, and arguments of
@@ -127,21 +139,30 @@ class _ScopeChecker(ast.NodeVisitor):
         module: ModuleSource,
         env: _SetEnv,
         findings: List[Finding],
+        clock_only: bool = False,
     ) -> None:
         self.checker = checker
         self.module = module
         self.env = env
         self.findings = findings
+        #: Clock-only tier (modules off the result paths): only wall-clock
+        #: reads are flagged; set iteration, randomness, id(), and
+        #: environment reads stay legal there.
+        self.clock_only = clock_only
         #: Nodes exempt from iteration flagging (args of order-insensitive
         #: calls, membership-test operands).
         self.exempt: Set[int] = set()
 
     # -- scope boundaries -------------------------------------------------
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self.checker.check_function(self.module, node, self.env, self.findings)
+        self.checker.check_function(
+            self.module, node, self.env, self.findings, self.clock_only
+        )
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self.checker.check_function(self.module, node, self.env, self.findings)
+        self.checker.check_function(
+            self.module, node, self.env, self.findings, self.clock_only
+        )
 
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
         for stmt in node.body:
@@ -222,7 +243,7 @@ class _ScopeChecker(ast.NodeVisitor):
             self._flag_if_set_iter(arg, f"{func.id}() materialises")
 
     def _flag_if_set_iter(self, iterable: ast.expr, action: str) -> None:
-        if id(iterable) in self.exempt:
+        if self.clock_only or id(iterable) in self.exempt:
             return
         if _is_set_expr(iterable, self.env):
             self.findings.append(
@@ -244,38 +265,51 @@ class _ScopeChecker(ast.NodeVisitor):
         func = node.func
         imports = self.checker.module_imports
         if isinstance(func, ast.Name):
-            if func.id == "id" and len(node.args) == 1:
+            if func.id == "id" and len(node.args) == 1 and not self.clock_only:
                 self._ban(node, "id() exposes interpreter addresses")
             origin = imports.from_names.get(func.id)
-            if origin is not None:
+            if origin is not None and (origin == "time" or not self.clock_only):
                 self._ban(node, f"{origin}.{func.id}() is run-dependent")
         elif isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
             base = imports.module_aliases.get(func.value.id)
-            if base in BANNED_MODULES:
+            if base == "time":
+                self._ban(node, f"time.{func.attr}() is run-dependent")
+            elif base == "datetime" and func.attr in {"now", "utcnow", "today"}:
+                self._ban(node, f"datetime.{func.attr}() is run-dependent")
+            elif self.clock_only:
+                return
+            elif base in BANNED_MODULES:
                 self._ban(node, f"{base}.{func.attr}() is run-dependent")
             elif base == "os" and func.attr in {"getenv", "urandom"}:
                 self._ban(node, f"os.{func.attr}() is run-dependent")
-            elif base == "datetime" and func.attr in {"now", "utcnow", "today"}:
-                self._ban(node, f"datetime.{func.attr}() is run-dependent")
 
     def _ban(self, node: ast.Call, why: str) -> None:
+        if self.clock_only:
+            remedy = (
+                "route timing through repro.obs.clock (perf_counter_s, "
+                "monotonic_s, or an injectable Clock) — the obs layer is the "
+                "only module allowed to read the wall clock"
+            )
+        else:
+            remedy = (
+                "chase results must be a pure function of the rules and the "
+                "database"
+            )
         self.findings.append(
             Finding(
                 rule=self.checker.name,
                 path=self.module.rel,
                 line=node.lineno,
                 col=node.col_offset,
-                message=(
-                    f"{why}; chase results must be a pure function of the "
-                    "rules and the database"
-                ),
+                message=f"{why}; {remedy}",
             )
         )
 
     def visit_Subscript(self, node: ast.Subscript) -> None:
         imports = self.checker.module_imports
         if (
-            isinstance(node.value, ast.Attribute)
+            not self.clock_only
+            and isinstance(node.value, ast.Attribute)
             and node.value.attr == "environ"
             and isinstance(node.value.value, ast.Name)
             and imports.module_aliases.get(node.value.value.id) == "os"
@@ -316,17 +350,25 @@ class DeterminismChecker(Checker):
     name = "determinism"
     description = (
         "no unordered set iteration and no clock/randomness/address/"
-        "environment dependence on chase result paths"
+        "environment dependence on chase result paths; wall-clock reads "
+        "everywhere else must go through repro.obs.clock"
     )
-    include = ("core/", "chase/", "storage/", "fuzz/")
+    include = ()
+    #: Result-path fragments getting every check; all other modules get the
+    #: clock-only tier.
+    FULL_SCOPE = ("core/", "chase/", "storage/", "fuzz/", "obs/")
 
     def __init__(self) -> None:
         self.module_imports = _Imports(ast.parse(""))
 
+    def _clock_only(self, rel: str) -> bool:
+        return not any(fragment in rel for fragment in self.FULL_SCOPE)
+
     def check(self, module: ModuleSource) -> Iterable[Finding]:
         findings: List[Finding] = []
         self.module_imports = _Imports(module.tree)
-        scope = _ScopeChecker(self, module, _SetEnv(), findings)
+        clock_only = self._clock_only(module.rel)
+        scope = _ScopeChecker(self, module, _SetEnv(), findings, clock_only)
         for stmt in module.tree.body:
             scope.visit(stmt)
         return findings
@@ -337,6 +379,7 @@ class DeterminismChecker(Checker):
         node: ast.AST,
         parent_env: _SetEnv,
         findings: List[Finding],
+        clock_only: bool = False,
     ) -> None:
         env = _SetEnv(parent_env)
         args = node.args  # type: ignore[attr-defined]
@@ -344,6 +387,6 @@ class DeterminismChecker(Checker):
         for arg in all_args:
             if _annotation_is_set(arg.annotation):
                 env.mark(arg.arg, True)
-        scope = _ScopeChecker(self, module, env, findings)
+        scope = _ScopeChecker(self, module, env, findings, clock_only)
         for stmt in node.body:  # type: ignore[attr-defined]
             scope.visit(stmt)
