@@ -38,6 +38,7 @@ from typing import (
 )
 
 from ..core.atoms import Atom
+from ..core.indexing import partition_hash
 from ..core.predicates import Predicate
 from ..core.substitutions import Substitution, match_atom
 from ..core.terms import Constant, Term
@@ -176,6 +177,27 @@ class JoinPlan:
 
     def __repr__(self):
         return f"JoinPlan(seed={self.body[self.seed_slot]!r}, body={len(self.body)} atoms)"
+
+    def partition_key(self, atom: Atom) -> Tuple[Term, ...]:
+        """The terms of *atom* forming this plan's repartition key.
+
+        This is the per-round exchange metadata: a delta atom seeding this
+        plan is shipped to the worker owning the stable hash of exactly
+        these terms (all of them for linear plans, the join-key positions
+        for multi-way bodies — see ``partition_positions``).
+        """
+        if not self.partition_positions:
+            return atom.terms
+        return tuple(atom.terms[position] for position in self.partition_positions)
+
+    def route_hash(self, atom: Atom) -> int:
+        """The stable partition hash routing *atom* as a seed of this plan.
+
+        ``route_hash(atom) % n_workers`` is the plan's default owner; the
+        shuffle exchange's skew split overrides that mapping for heavy
+        hashes (:class:`repro.chase.exchange.RoutingTable`).
+        """
+        return partition_hash(self.partition_key(atom))
 
     def matches(
         self,

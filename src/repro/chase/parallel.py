@@ -48,10 +48,27 @@ workers never mutate shared state beyond their own replica.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import queue
+import threading
 import traceback
 from concurrent import futures
-from multiprocessing.connection import Connection
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union, cast
+from functools import partial
+from multiprocessing.connection import Connection, wait
+from typing import (
+    AbstractSet,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+    cast,
+)
 
 from ..core.atoms import Atom
 from ..core.indexing import atom_partition_of
@@ -66,6 +83,16 @@ from ..obs.metrics import MetricsRegistry, StatementMetrics, sql_family_stats
 from ..obs.tracer import AnyTracer, as_tracer
 from ..storage.atom_store import AtomStore
 from .engine import ChaseEngine, make_backend_store, resolve_engine_class
+from .exchange import (
+    EXCHANGES,
+    Frame,
+    FrameAssembler,
+    HeavyRoute,
+    ShuffleReport,
+    ShuffleWorker,
+    SkewDetector,
+    iter_frames,
+)
 from .matching import JoinPlan
 from .result import ChaseLimits, ChaseResult
 from .triggers import Trigger
@@ -256,6 +283,28 @@ class _MatchWorker:
             entry = self.table.entries[plan_id]
             seed = delta_atoms[delta_index]
             for mapping in entry.plan.matches(self.store, seed, delta=delta):
+                self._consider(entry, mapping, considered, fired)
+        return considered, fired
+
+    def shuffle_round(
+        self,
+        work_items: Sequence[Tuple[int, Atom]],
+        exclusion: AbstractSet[Atom],
+    ) -> MatchBatch:
+        """Match shuffle-routed work: ``(plan_id, seed atom)`` pairs.
+
+        Unlike :meth:`_delta_round`, the seed atom rides inside the work
+        item (a partitioned-relation atom need not exist in this worker's
+        replica at all), and *exclusion* — the round's broadcast of
+        fully-replicated delta atoms — stands in for the full delta: only
+        multi-atom-body predicates can occur at slots before a seed, so the
+        semi-naive constraint sees exactly the candidates it would have.
+        """
+        considered: List[object] = []
+        fired: List[Tuple[object, Tuple[Atom, ...]]] = []
+        for plan_id, seed in work_items:
+            entry = self.table.entries[plan_id]
+            for mapping in entry.plan.matches(self.store, seed, delta=exclusion):
                 self._consider(entry, mapping, considered, fired)
         return considered, fired
 
@@ -522,6 +571,7 @@ def worker_seed_atoms(
     n_workers: int,
     worker_id: int,
     full_atoms: Optional[Sequence[Atom]] = None,
+    include_unused_share: bool = False,
 ) -> List[Atom]:
     """The seed atoms one streaming process replica actually needs.
 
@@ -537,6 +587,13 @@ def worker_seed_atoms(
     per-worker-invariant scan of the *full* predicates), so a coordinator
     seeding many workers collects it once instead of once per worker —
     see :func:`collect_full_seed_atoms`.
+
+    *include_unused_share* additionally ships the worker's hash partition
+    of every relation the TGDs never read.  The coordinator-merge protocol
+    skips those entirely, but a shuffle worker is also the *atom-dedup
+    owner* of its whole-tuple hash share of the global instance
+    (:meth:`~repro.chase.exchange.ShuffleWorker.seed_owned_atoms` scans the
+    replica), so its share of head-only relations must be present too.
     """
     full, partitioned = replica_seed_split(tgds, variant)
     atoms: List[Atom] = (
@@ -546,6 +603,13 @@ def worker_seed_atoms(
     )
     for predicate in partitioned:
         atoms.extend(store.atoms_partition(predicate, (), n_workers, worker_id))
+    if include_unused_share:
+        shipped = full | partitioned
+        for predicate in store.predicates():
+            if predicate not in shipped:
+                atoms.extend(
+                    store.atoms_partition(predicate, (), n_workers, worker_id)
+                )
     return sorted(atoms)
 
 
@@ -776,6 +840,357 @@ class _ProcessPool:
 
 
 # --------------------------------------------------------------------------- #
+# Shuffle-exchange pools (see repro.chase.exchange for the phase protocol)
+
+
+def _build_shuffle_worker(
+    strategy: str,
+    worker_id: int,
+    n_workers: int,
+    tgds: Sequence[TGD],
+    variant: str,
+    store: AtomStore,
+    shared_store: bool,
+    metrics: Optional[MetricsRegistry] = None,
+    report_metrics: bool = False,
+) -> ShuffleWorker:
+    """Assemble one worker's shuffle state machine around a match worker."""
+    match_worker = _make_match_worker(
+        strategy, worker_id, n_workers, tgds, variant, store, False
+    )
+    full, _ = replica_seed_split(tgds, variant)
+    plans_by_predicate = {
+        predicate: tuple(entry.plan_id for entry in entries)
+        for predicate, entries in match_worker.table.by_predicate.items()
+    }
+    return ShuffleWorker(
+        match_worker,
+        plans_by_predicate,
+        full,
+        shared_store=shared_store,
+        pushdown=strategy == "sql-pushdown",
+        crash_spec=os.environ.get("REPRO_EXCHANGE_CRASH"),
+        metrics=metrics,
+        report_metrics=report_metrics,
+    )
+
+
+class _MemoryShufflePool:
+    """Serial or thread shuffle workers exchanging over shared memory.
+
+    The exchange "channels" are plain in-process queues: each phase wave
+    returns one outbox per destination, and the pool hands every worker the
+    list of payloads addressed to it before the next wave.  Thread waves are
+    barriers, so workers only ever read the shared store while the
+    coordinator is quiescent — the same phasing discipline as
+    :class:`_ThreadPool`.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        tgds: Sequence[TGD],
+        variant: str,
+        store: AtomStore,
+        strategy: str = "indexed",
+        metrics: Optional[MetricsRegistry] = None,
+        use_threads: bool = False,
+    ) -> None:
+        self.workers = workers
+        self._pool = (
+            futures.ThreadPoolExecutor(max_workers=workers) if use_threads else None
+        )
+        self._shuffle_workers = [
+            _build_shuffle_worker(
+                strategy, worker_id, workers, tgds, variant, store,
+                shared_store=True, metrics=metrics,
+            )
+            for worker_id in range(workers)
+        ]
+        for shuffle_worker in self._shuffle_workers:
+            shuffle_worker.seed_owned_atoms(store)
+        if use_threads:
+            _warm_position_indexes(store, tgds)
+
+    def _wave(self, calls: Sequence[Callable[[], object]]) -> List[object]:
+        if self._pool is None:
+            return [call() for call in calls]
+        submitted = [self._pool.submit(call) for call in calls]
+        return [future.result() for future in submitted]
+
+    @staticmethod
+    def _gather(
+        outboxes: Sequence[List[List[object]]], destination: int
+    ) -> List[List[object]]:
+        return [outbox[destination] for outbox in outboxes]
+
+    def round(
+        self, round_index: int, heavy_routes: Tuple[HeavyRoute, ...]
+    ) -> List[ShuffleReport]:
+        workers = self._shuffle_workers
+        routed = cast(
+            List[List[List[object]]],
+            self._wave(
+                [partial(w.phase_route, round_index, heavy_routes) for w in workers]
+            ),
+        )
+        keyed = cast(
+            List[List[List[object]]],
+            self._wave(
+                [
+                    partial(w.phase_match, round_index, self._gather(routed, w.worker_id))
+                    for w in workers
+                ]
+            ),
+        )
+        atomed = cast(
+            List[List[List[object]]],
+            self._wave(
+                [
+                    partial(w.phase_keys, round_index, self._gather(keyed, w.worker_id))
+                    for w in workers
+                ]
+            ),
+        )
+        return cast(
+            List[ShuffleReport],
+            self._wave(
+                [
+                    partial(w.phase_atoms, round_index, self._gather(atomed, w.worker_id))
+                    for w in workers
+                ]
+            ),
+        )
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+
+
+class _PipeTransport:
+    """All-to-all exchange over per-pair pipes, deadlock-free by design.
+
+    A dedicated drain thread receives from every peer connection eagerly
+    and unconditionally (parking frames in an in-process queue), so this
+    worker's blocking ``send`` can never participate in the classic
+    all-to-all cycle — every peer's inbound buffer is always being emptied,
+    whatever the main thread is doing.  The main thread is the only reader
+    of the queue and the only user of the frame assembler.
+    """
+
+    def __init__(
+        self, worker_id: int, peer_conns: Sequence[Tuple[int, Connection]]
+    ) -> None:
+        self.worker_id = worker_id
+        self._peers = tuple(peer_conns)
+        self._inbox: "queue.SimpleQueue[Frame]" = queue.SimpleQueue()
+        self._assembler = FrameAssembler()
+        self._thread = threading.Thread(target=self._drain, daemon=True)
+        self._thread.start()
+
+    def _drain(self) -> None:
+        connections = [connection for _, connection in self._peers]
+        while connections:
+            for ready in wait(connections):
+                ready_conn = cast(Connection, ready)
+                try:
+                    frame = ready_conn.recv()
+                except (EOFError, OSError):
+                    connections.remove(ready_conn)
+                    continue
+                self._inbox.put(frame)
+
+    def exchange(
+        self, round_index: int, phase: str, outboxes: Sequence[List[object]]
+    ) -> List[Sequence[object]]:
+        """Send every peer its outbox; block until all peer payloads arrive."""
+        for peer_id, connection in self._peers:
+            for frame in iter_frames(round_index, phase, self.worker_id, outboxes[peer_id]):
+                try:
+                    connection.send(frame)
+                except (BrokenPipeError, OSError):
+                    # A dead peer is surfaced by the coordinator (its error
+                    # report or join timeout); don't mask it with a send
+                    # failure here.
+                    pass
+        inboxes: List[Sequence[object]] = [() for _ in outboxes]
+        inboxes[self.worker_id] = outboxes[self.worker_id]
+        pending = {peer_id for peer_id, _ in self._peers}
+        for peer_id in sorted(pending):
+            payload = self._assembler.pop(round_index, phase, peer_id)
+            if payload is not None:
+                inboxes[peer_id] = payload
+                pending.discard(peer_id)
+        while pending:
+            completed = self._assembler.feed(self._inbox.get())
+            if completed is None or completed[:2] != (round_index, phase):
+                continue
+            sender = completed[2]
+            if sender in pending:
+                payload = self._assembler.pop(round_index, phase, sender)
+                inboxes[sender] = payload if payload is not None else ()
+                pending.discard(sender)
+        return inboxes
+
+
+def _shuffle_worker_main(
+    conn: Connection,
+    peer_conns: Tuple[Tuple[int, Connection], ...],
+    worker_id: int,
+    n_workers: int,
+    tgds: Sequence[TGD],
+    variant: str,
+    store_spec: Tuple[str, ...],
+    strategy: str = "indexed",
+    collect_metrics: bool = False,
+) -> None:
+    """Entry point of a shuffle process worker: replica, peers, round loop.
+
+    Same seeding protocol as :func:`_worker_main`; each ``("round", index,
+    heavy_routes)`` barrier message then drives the four exchange phases
+    against the peer pipes, and the round's :class:`ShuffleReport` goes back
+    on the coordinator pipe.
+    """
+    try:
+        try:
+            store = _open_replica_store(store_spec, worker_id)
+            registry = MetricsRegistry() if collect_metrics else None
+            shuffle = _build_shuffle_worker(
+                strategy, worker_id, n_workers, tgds, variant, store,
+                shared_store=False, metrics=registry, report_metrics=True,
+            )
+            if registry is not None:
+                from ..storage.sqlbackend import SqliteAtomStore
+
+                if isinstance(store, SqliteAtomStore):
+                    store.set_statement_metrics(StatementMetrics(registry))
+            transport = _PipeTransport(worker_id, peer_conns)
+        except Exception:
+            conn.send(("error", traceback.format_exc()))
+            return
+        seeded = False
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "stop":
+                break
+            try:
+                if kind == "seed":
+                    _add_seed_atoms(store, message[1])
+                    continue
+                _, round_index, heavy_routes = message
+                if not seeded:
+                    # All seed chunks have arrived once rounds begin: claim
+                    # this worker's dedup share of the seed instance.
+                    shuffle.seed_owned_atoms(store)
+                    seeded = True
+                outboxes = shuffle.phase_route(round_index, heavy_routes)
+                inboxes = transport.exchange(round_index, "route", outboxes)
+                outboxes = shuffle.phase_match(round_index, inboxes)
+                inboxes = transport.exchange(round_index, "keys", outboxes)
+                outboxes = shuffle.phase_keys(round_index, inboxes)
+                inboxes = transport.exchange(round_index, "atoms", outboxes)
+                report = shuffle.phase_atoms(round_index, inboxes)
+                conn.send(("ok", report))
+            except Exception:
+                conn.send(("error", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+class _ProcessShufflePool:
+    """Process shuffle workers on a full mesh of per-pair pipes.
+
+    The coordinator keeps one control pipe per worker (seeding, round
+    barriers, reports — exactly the :class:`_ProcessPool` protocol) and
+    additionally wires every worker pair with a private duplex pipe before
+    any process starts; peer traffic never touches the coordinator.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        tgds: Sequence[TGD],
+        variant: str,
+        store_spec: Tuple[str, ...],
+        worker_seeds: Optional[Callable[[int], List[Atom]]] = None,
+        strategy: str = "indexed",
+        collect_metrics: bool = False,
+    ) -> None:
+        self.workers = workers
+        context = multiprocessing.get_context()
+        self._connections: List[Connection] = []
+        self._processes: List[multiprocessing.process.BaseProcess] = []
+        mesh: List[Dict[int, Connection]] = [{} for _ in range(workers)]
+        parent_peer_ends: List[Connection] = []
+        for low in range(workers):
+            for high in range(low + 1, workers):
+                low_conn, high_conn = context.Pipe(True)
+                mesh[low][high] = low_conn
+                mesh[high][low] = high_conn
+                parent_peer_ends.extend((low_conn, high_conn))
+        try:
+            for worker_id in range(workers):
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_shuffle_worker_main,
+                    args=(
+                        child_conn,
+                        tuple(sorted(mesh[worker_id].items())),
+                        worker_id,
+                        workers,
+                        tuple(tgds),
+                        variant,
+                        store_spec,
+                        strategy,
+                        collect_metrics,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._connections.append(parent_conn)
+                self._processes.append(process)
+            for end in parent_peer_ends:
+                end.close()
+            if worker_seeds is not None:
+                for worker_id, connection in enumerate(self._connections):
+                    for chunk in _seed_chunks(worker_seeds(worker_id)):
+                        connection.send(("seed", chunk))
+        except Exception:
+            self.close()
+            raise
+
+    def round(
+        self, round_index: int, heavy_routes: Tuple[HeavyRoute, ...]
+    ) -> List[ShuffleReport]:
+        for connection in self._connections:
+            connection.send(("round", round_index, heavy_routes))
+        reports: List[ShuffleReport] = []
+        for connection in self._connections:
+            status, payload = connection.recv()
+            if status != "ok":
+                raise RuntimeError(f"parallel chase worker failed:\n{payload}")
+            reports.append(payload)
+        return reports
+
+    def close(self) -> None:
+        for connection in self._connections:
+            try:
+                connection.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            connection.close()
+        for process in self._processes:
+            # A worker wedged mid-exchange (e.g. its peer crashed) never
+            # reads the stop message; don't wait long before terminating.
+            process.join(timeout=2)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+
+
+# --------------------------------------------------------------------------- #
 # The coordinator
 
 
@@ -797,6 +1212,7 @@ class ParallelChaseExecutor:
         on_limit: str = "return",
         executor: str = "auto",
         strategy: str = "indexed",
+        exchange: str = "coordinator",
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -809,6 +1225,8 @@ class ParallelChaseExecutor:
                 "the parallel chase runs the 'indexed' or 'sql-pushdown' "
                 f"matching engines, got {strategy!r}"
             )
+        if exchange not in EXCHANGES:
+            raise ValueError(f"exchange must be one of {EXCHANGES}, got {exchange!r}")
         resolve_engine_class(variant)  # validate eagerly
         self.variant = variant
         self.workers = workers
@@ -816,12 +1234,11 @@ class ParallelChaseExecutor:
         self.on_limit = on_limit
         self.executor = executor
         self.strategy = strategy
+        self.exchange = exchange
 
     # ------------------------------------------------------------------ #
 
-    def _make_pool(
-        self, tgds: Sequence[TGD], store: AtomStore, collect_metrics: bool = False
-    ) -> Union["_SerialPool", "_ThreadPool", "_ProcessPool"]:
+    def _resolve_executor(self, store: AtomStore) -> str:
         from ..storage.database import RelationalDatabase
         from ..storage.sqlbackend import SqliteAtomStore
 
@@ -839,6 +1256,15 @@ class ParallelChaseExecutor:
                     if isinstance(store, (RelationalDatabase, SqliteAtomStore))
                     else "thread"
                 )
+        return executor
+
+    def _make_pool(
+        self, tgds: Sequence[TGD], store: AtomStore, collect_metrics: bool = False
+    ) -> Union["_SerialPool", "_ThreadPool", "_ProcessPool"]:
+        from ..storage.database import RelationalDatabase
+        from ..storage.sqlbackend import SqliteAtomStore
+
+        executor = self._resolve_executor(store)
         if executor == "serial" or self.workers == 1:
             return _SerialPool(
                 self.workers, tgds, self.variant, store, self.strategy, collect_metrics
@@ -885,6 +1311,59 @@ class ParallelChaseExecutor:
             collect_metrics,
         )
 
+    def _make_shuffle_pool(
+        self,
+        tgds: Sequence[TGD],
+        store: AtomStore,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> Union["_MemoryShufflePool", "_ProcessShufflePool"]:
+        """The shuffle twin of :meth:`_make_pool`: same executor resolution,
+        same replica-seeding strategies, peer-to-peer exchange channels."""
+        from ..storage.database import RelationalDatabase
+        from ..storage.sqlbackend import SqliteAtomStore
+
+        executor = self._resolve_executor(store)
+        if executor in ("serial", "thread") or self.workers == 1:
+            return _MemoryShufflePool(
+                self.workers, tgds, self.variant, store, self.strategy,
+                metrics=metrics,
+                use_threads=executor == "thread" and self.workers > 1,
+            )
+        collect_metrics = metrics is not None
+        if isinstance(store, SqliteAtomStore) and store.is_persistent:
+            store.flush()
+            return _ProcessShufflePool(
+                self.workers, tgds, self.variant, ("sqlite-file", store.path),
+                strategy=self.strategy, collect_metrics=collect_metrics,
+            )
+        if isinstance(store, RelationalDatabase):
+            store_spec: Tuple[str, ...] = ("relational",)
+        elif isinstance(store, SqliteAtomStore):
+            store_spec = ("sqlite",)
+        else:
+            store_spec = ("instance",)
+        full, _ = replica_seed_split(tgds, self.variant)
+        full_atoms = collect_full_seed_atoms(store, full)
+
+        def worker_seeds(worker_id: int) -> List[Atom]:
+            # As the coordinator-merge seeding, plus each worker's hash
+            # share of the relations matching never reads — the worker is
+            # the atom-dedup owner of that share (see worker_seed_atoms).
+            return worker_seed_atoms(
+                store,
+                tgds,
+                self.variant,
+                self.workers,
+                worker_id,
+                full_atoms=full_atoms,
+                include_unused_share=True,
+            )
+
+        return _ProcessShufflePool(
+            self.workers, tgds, self.variant, store_spec, worker_seeds,
+            self.strategy, collect_metrics,
+        )
+
     def _partition_work(
         self, table: _PlanTable, delta_atoms: Sequence[Atom]
     ) -> List[List[Tuple[int, int]]]:
@@ -916,7 +1395,15 @@ class ParallelChaseExecutor:
         reports.  ``chase_start``/``chase_end`` are the caller's job
         (:func:`repro.chase.engine.chase` emits them).  Tracing never
         changes the result.
+
+        With ``exchange="shuffle"`` the run is delegated to
+        :meth:`_run_shuffle`: same contract, byte-identical result, but
+        workers repartition deltas among themselves and the coordinator
+        only drives round barriers (plus ``exchange``/``repartition``
+        events on traced runs).
         """
+        if self.exchange == "shuffle":
+            return self._run_shuffle(database, tgds, store=store, tracer=tracer)
         active_tracer = as_tracer(tracer)
         traced = active_tracer.enabled
         tgd_list = tuple(tgds)
@@ -1098,6 +1585,211 @@ class ParallelChaseExecutor:
             if statement_metrics is not None:
                 store.set_statement_metrics(None)  # type: ignore[attr-defined]
 
+    def _run_shuffle(
+        self,
+        database: Database,
+        tgds: TGDSet,
+        store: Optional[AtomStore] = None,
+        tracer: Optional[AnyTracer] = None,
+    ) -> ChaseResult:
+        """The shuffle-exchange twin of :meth:`run`.
+
+        Workers own matching, both global dedups, and all peer-to-peer
+        repartitioning (:mod:`repro.chase.exchange`); this loop only ticks
+        round barriers, folds per-worker reports into budgets and trace
+        events, appends each round's merged new atoms — already globally
+        deduplicated, each owned by exactly one worker — to the
+        authoritative store in sorted order, and feeds the skew detector
+        whose heavy table rides the next barrier message.
+        """
+        active_tracer = as_tracer(tracer)
+        traced = active_tracer.enabled
+        tgd_list = tuple(tgds)
+        if store is None:
+            store = Instance()
+        add_atoms = getattr(store, "add_atoms", None)
+        if add_atoms is not None:
+            add_atoms(database.atoms())
+        else:
+            for atom in database.atoms():
+                store.add_atom(atom)
+        table = _PlanTable(tgd_list)
+
+        statement_metrics: Optional[StatementMetrics] = None
+        registry: Optional[MetricsRegistry] = None
+        if traced:
+            from ..storage.sqlbackend import SqliteAtomStore
+
+            registry = MetricsRegistry()
+            if isinstance(store, SqliteAtomStore):
+                statement_metrics = StatementMetrics(registry)
+                store.set_statement_metrics(statement_metrics)
+        # Latest cumulative registry snapshot per process worker.
+        worker_sql: Dict[int, Dict[str, List[Dict[str, object]]]] = {}
+
+        def finish_trace() -> None:
+            if not traced:
+                return
+            merged = MetricsRegistry()
+            if registry is not None:
+                merged.merge_snapshot(registry.snapshot())
+            for snapshot in worker_sql.values():
+                merged.merge_snapshot(snapshot)
+            for stats in sql_family_stats(merged.snapshot()):
+                active_tracer.emit("sql_family", **stats)
+
+        # The in-SQL partition filter of the pushdown strategy cannot see a
+        # heavy table, so skew splitting stays off there; routing is then
+        # degenerate (replicas are broadcast-complete) and still correct.
+        detector: Optional[SkewDetector] = None
+        if self.strategy != "sql-pushdown":
+            detector = SkewDetector(
+                [
+                    (
+                        entry.plan_id,
+                        entry.plan.body[entry.plan.seed_slot].predicate,
+                        entry.plan.partition_positions,
+                    )
+                    for entry in table.entries
+                ],
+                self.workers,
+                metrics=registry,
+            )
+
+        heavy: Tuple[HeavyRoute, ...] = ()
+        known_heavy: Set[Tuple[int, int]] = set()
+        rounds = 0
+        atoms_created = 0
+        triggers_fired = 0
+        last_delta_size: Optional[int] = None
+
+        pool = self._make_shuffle_pool(tgd_list, store, metrics=registry)
+        try:
+            while True:
+                if self.limits.round_budget_exceeded(rounds + 1):
+                    finish_trace()
+                    return self._stopped(
+                        store, rounds, atoms_created, triggers_fired, "max_rounds"
+                    )
+                round_started = active_tracer.now() if traced else 0.0
+                delta_size = (
+                    (store.atom_count() if last_delta_size is None else last_delta_size)
+                    if traced
+                    else 0
+                )
+                reports = pool.round(rounds, heavy)
+
+                round_considered = 0
+                round_fired = 0
+                new_atom_runs: List[Tuple[Atom, ...]] = []
+                fired_by_rule: Dict[int, int] = {}
+                enumerated_by_rule: Dict[int, int] = {}
+                atoms_by_rule: Dict[int, int] = {}
+                nulls_by_rule: Dict[int, int] = {}
+                for report in reports:
+                    round_considered += report.considered
+                    round_fired += report.fired
+                    new_atom_runs.append(report.new_atoms)
+                    if traced:
+                        active_tracer.emit(
+                            "worker_round",
+                            round=rounds + 1,
+                            worker=report.worker,
+                            considered=report.considered,
+                            fired=report.matched,
+                            dur=round(report.dur, 9),
+                        )
+                        active_tracer.emit(
+                            "exchange",
+                            round=rounds + 1,
+                            worker=report.worker,
+                            keys_routed=report.keys_routed,
+                            atoms_routed=report.atoms_routed,
+                            work_routed=report.work_routed,
+                            dur=round(report.dur, 9),
+                        )
+                        for rule, count in report.enumerated_by_rule:
+                            enumerated_by_rule[rule] = (
+                                enumerated_by_rule.get(rule, 0) + count
+                            )
+                        for rule, count in report.fired_by_rule:
+                            fired_by_rule[rule] = fired_by_rule.get(rule, 0) + count
+                        for rule, count in report.atoms_by_rule:
+                            atoms_by_rule[rule] = atoms_by_rule.get(rule, 0) + count
+                        for rule, count in report.nulls_by_rule:
+                            nulls_by_rule[rule] = nulls_by_rule.get(rule, 0) + count
+                        if report.sql is not None:
+                            worker_sql[report.worker] = report.sql
+                triggers_fired += round_fired
+                # Each worker's new atoms are its own sorted hash share;
+                # the shares are disjoint, so one sort merges them.
+                new_atoms = sorted(
+                    atom for run in new_atom_runs for atom in run
+                )
+
+                if traced:
+                    for rule_index in sorted(enumerated_by_rule):
+                        active_tracer.emit(
+                            "rule_round",
+                            round=rounds + 1,
+                            rule=rule_index,
+                            enumerated=enumerated_by_rule[rule_index],
+                            fired=fired_by_rule.get(rule_index, 0),
+                            atoms_created=atoms_by_rule.get(rule_index, 0),
+                            nulls_invented=nulls_by_rule.get(rule_index, 0),
+                            dur=0.0,
+                        )
+                    active_tracer.emit(
+                        "round",
+                        round=rounds + 1,
+                        delta_size=delta_size,
+                        considered=round_considered,
+                        fired=round_fired,
+                        atoms_created=len(new_atoms),
+                        dur=round(active_tracer.now() - round_started, 9),
+                    )
+
+                if not new_atoms:
+                    finish_trace()
+                    return ChaseResult(
+                        terminated=True,
+                        rounds=rounds,
+                        atoms_created=atoms_created,
+                        triggers_fired=triggers_fired,
+                        stop_reason="fixpoint",
+                        store=store,
+                    )
+                for atom in new_atoms:
+                    store.add_atom(atom)
+                flush = getattr(store, "flush", None)
+                if flush is not None:
+                    flush()
+                atoms_created += len(new_atoms)
+                rounds += 1
+                last_delta_size = len(new_atoms)
+                if self.limits.atom_budget_exceeded(store.atom_count()):
+                    finish_trace()
+                    return self._stopped(
+                        store, rounds, atoms_created, triggers_fired, "max_atoms"
+                    )
+                if detector is not None:
+                    heavy = detector.heavy_routes(new_atoms)
+                    if traced:
+                        for route, split in heavy:
+                            if route not in known_heavy:
+                                known_heavy.add(route)
+                                active_tracer.emit(
+                                    "repartition",
+                                    round=rounds,
+                                    plan=route[0],
+                                    key_hash=route[1],
+                                    workers=list(split),
+                                )
+        finally:
+            pool.close()
+            if statement_metrics is not None:
+                store.set_statement_metrics(None)  # type: ignore[attr-defined]
+
     def _stopped(
         self,
         store: AtomStore,
@@ -1135,6 +1827,7 @@ def parallel_chase(
     executor: str = "auto",
     materialize: bool = True,
     tracer: Optional[AnyTracer] = None,
+    exchange: str = "coordinator",
 ) -> ChaseResult:
     """Run the hash-partitioned parallel chase of *database* with *tgds*.
 
@@ -1149,6 +1842,13 @@ def parallel_chase(
         sqlite ones; ``"serial"`` / ``"thread"`` / ``"process"`` force a
         pool kind.  Process replicas of a persistent sqlite store attach
         the coordinator's file read-only instead of receiving a seed.
+    exchange:
+        ``"coordinator"`` (default) round-trips every round's results
+        through the coordinator merge; ``"shuffle"`` has workers
+        hash-repartition firing keys and result atoms directly to peer
+        workers between rounds, with the coordinator reduced to barrier
+        control, budget accounting, and trace merging (see
+        :mod:`repro.chase.exchange`).
 
     ``materialize=False`` skips the eager ``result.instance`` build, like
     :func:`~repro.chase.engine.chase`.  The result is guaranteed identical
@@ -1178,6 +1878,7 @@ def parallel_chase(
         on_limit=on_limit,
         executor=executor,
         strategy=strategy,
+        exchange=exchange,
     )
     try:
         result = coordinator.run(database, tgds, store=store, tracer=tracer)

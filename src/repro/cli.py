@@ -59,6 +59,7 @@ from typing import List, Optional
 
 from .chase.engine import BACKENDS, chase, make_backend_store
 from .chase.matching import STRATEGIES
+from .chase.exchange import EXCHANGES
 from .chase.parallel import EXECUTORS
 from .chase.result import ChaseLimits
 from .core.instances import Database, induced_database
@@ -134,6 +135,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker pool kind for --parallel > 1: threads for the instance "
         "backend, processes with store replicas for the relational and "
         "sqlite ones (default: auto)",
+    )
+    chase_cmd.add_argument(
+        "--exchange",
+        choices=EXCHANGES,
+        default="coordinator",
+        help="round protocol for --parallel > 1: 'coordinator' merges every "
+        "round through the coordinator, 'shuffle' repartitions results "
+        "directly between peer workers with skew-split load balancing "
+        "(default: coordinator)",
     )
     chase_cmd.add_argument(
         "--trace",
@@ -402,6 +412,7 @@ def _command_chase(args) -> int:
             store=store,
             workers=args.parallel,
             executor=args.executor,
+            exchange=args.exchange,
             materialize=not args.no_materialize,
             tracer=tracer,
         )
@@ -417,6 +428,8 @@ def _command_chase(args) -> int:
     elapsed = perf_counter_s() - start
 
     pool = f"/{args.parallel}w" if args.parallel != 1 else ""
+    if pool and args.exchange != "coordinator":
+        pool += f"/{args.exchange}"
     status = "reached a fixpoint" if result.terminated else f"stopped ({result.stop_reason})"
     print(f"{args.variant} chase [{args.strategy}/{args.backend}{pool}]: {status}")
     print(f"  rounds: {result.rounds}")

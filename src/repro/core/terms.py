@@ -19,12 +19,15 @@ from typing import Union
 class Term:
     """Abstract base class of :class:`Constant`, :class:`Null`, :class:`Variable`."""
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash")
 
     def __init__(self, name):
         if not isinstance(name, str) or not name:
             raise TypeError(f"term name must be a non-empty string, got {name!r}")
         object.__setattr__(self, "name", name)
+        # Cached like Atom._hash: the chase hashes terms (set members, dict
+        # keys) orders of magnitude more often than it creates them.
+        object.__setattr__(self, "_hash", hash((type(self).__name__, name)))
 
     def __setattr__(self, key, value):
         raise AttributeError(f"{type(self).__name__} is immutable")
@@ -39,7 +42,7 @@ class Term:
         return type(self) is type(other) and self.name == other.name
 
     def __hash__(self):
-        return hash((type(self).__name__, self.name))
+        return self._hash
 
     def __lt__(self, other):
         if not isinstance(other, Term):

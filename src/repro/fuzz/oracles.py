@@ -63,10 +63,14 @@ class PoolCombo:
     workers: int
     executor: str
     backend: str = "instance"
+    exchange: str = "coordinator"
 
     @property
     def label(self) -> str:
-        return f"parallel[{self.backend}] workers={self.workers} executor={self.executor}"
+        label = f"parallel[{self.backend}] workers={self.workers} executor={self.executor}"
+        if self.exchange != "coordinator":
+            label += f" exchange={self.exchange}"
+        return label
 
 
 #: The reference combo comes first; every later combo is compared against it.
@@ -86,6 +90,7 @@ POOL_PROFILES = {
         PoolCombo(2, "serial"),
         PoolCombo(3, "thread"),
         PoolCombo(2, "thread", backend="sqlite"),
+        PoolCombo(3, "serial", exchange="shuffle"),
     ),
     "full": (
         PoolCombo(2, "serial"),
@@ -93,6 +98,8 @@ POOL_PROFILES = {
         PoolCombo(2, "thread", backend="sqlite"),
         PoolCombo(2, "process"),
         PoolCombo(2, "process", backend="sqlite"),
+        PoolCombo(3, "thread", exchange="shuffle"),
+        PoolCombo(2, "process", backend="sqlite", exchange="shuffle"),
     ),
 }
 
@@ -262,6 +269,7 @@ def check_engine_identity(
                     workers=pool.workers,
                     executor=pool.executor,
                     backend=pool.backend,
+                    exchange=pool.exchange,
                     limits=limits,
                 )
             except ReproError as error:

@@ -22,6 +22,7 @@ from .profiles import (
     paper_predicate_profiles,
     paper_tgd_profiles,
 )
+from .skew import SkewWorkload, generate_skew_workload, zipf_allocation
 from .tgd_generator import (
     DEFAULT_EXISTENTIAL_PROBABILITY,
     TGDGenerator,
@@ -44,6 +45,7 @@ __all__ = [
     "PAPER_TGD_PROFILES",
     "PAPER_TUPLES_PER_PREDICATE",
     "PredicateProfile",
+    "SkewWorkload",
     "TGDGenerator",
     "TGDGeneratorConfig",
     "TGDProfile",
@@ -52,8 +54,10 @@ __all__ = [
     "database_sizes",
     "generate_case",
     "generate_database",
+    "generate_skew_workload",
     "generate_tgds",
     "make_schema",
     "paper_predicate_profiles",
     "paper_tgd_profiles",
+    "zipf_allocation",
 ]

@@ -235,6 +235,71 @@ class TestEngineConformance:
                 f"sql-pushdown parallel(workers={workers}, executor={executor})",
             )
 
+    @given(chase_programs(), st.sampled_from(VARIANTS))
+    def test_shuffle_exchange_conforms(self, program, variant):
+        """The peer-to-peer shuffle exchange: results must stay
+        byte-identical to both the coordinator-merge protocol and the
+        serial engine across worker counts, pool kinds, backends, and
+        strategies — including lazy results."""
+        database, tgds = program
+        note(describe_program(database, tgds))
+        expected = fingerprint(
+            chase(database, tgds, variant=variant, limits=LIMITS)
+        )
+        coordinator = parallel_chase(
+            database, tgds, variant=variant, workers=2, limits=LIMITS
+        )
+        assert fingerprint(coordinator) == expected, "coordinator != serial"
+
+        # in-memory pools across the worker-count grid
+        for workers, executor in ((1, "serial"), (2, "thread"), (4, "serial")):
+            shuffled = parallel_chase(
+                database,
+                tgds,
+                variant=variant,
+                workers=workers,
+                limits=LIMITS,
+                executor=executor,
+                exchange="shuffle",
+            )
+            assert fingerprint(shuffled) == expected, (
+                f"shuffle(workers={workers}, executor={executor}) != serial"
+            )
+
+        # the relational store shares the coordinator's backend in-process
+        relational = parallel_chase(
+            database,
+            tgds,
+            variant=variant,
+            workers=4,
+            limits=LIMITS,
+            backend="relational",
+            executor="serial",
+            exchange="shuffle",
+        )
+        assert fingerprint(relational) == expected, "shuffle relational != serial"
+
+        # process pools: pipe-mesh replicas over sqlite, indexed and
+        # compiled-pushdown matching, with a lazy result each
+        for strategy, workers in (("indexed", 2), ("sql-pushdown", 4)):
+            shuffled = parallel_chase(
+                database,
+                tgds,
+                variant=variant,
+                workers=workers,
+                limits=LIMITS,
+                backend="sqlite",
+                executor="process",
+                strategy=strategy,
+                exchange="shuffle",
+                materialize=False,
+            )
+            assert_lazy_matches(
+                shuffled,
+                expected,
+                f"shuffle process({strategy}, workers={workers})",
+            )
+
 
 class TestTracingTransparency:
     @given(chase_programs(), st.sampled_from(VARIANTS))
@@ -279,6 +344,19 @@ class TestTracingTransparency:
                     workers=2,
                     limits=LIMITS,
                     executor="thread",
+                    tracer=tracer,
+                ),
+            ),
+            (
+                "parallel-shuffle",
+                lambda tracer: parallel_chase(
+                    database,
+                    tgds,
+                    variant=variant,
+                    workers=2,
+                    limits=LIMITS,
+                    executor="thread",
+                    exchange="shuffle",
                     tracer=tracer,
                 ),
             ),
